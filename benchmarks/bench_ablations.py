@@ -1,0 +1,131 @@
+"""Experiment X4 — ablations of the design choices called out in DESIGN.md.
+
+* **skip-first-selection** (Section 3.1 optimization): saves one round when
+  inputs already agree, harmless otherwise;
+* **static-selector optimization** (Section 3.1): suppresses the selector
+  exchange (lines 15/21) — identical decisions, and required message fields
+  stay empty;
+* **line-26 history variant** (DESIGN.md §4): recording validated pairs in
+  the history does not change outcomes in any scenario the scripted
+  adversaries produce, but removes the "no matching pair" revert ambiguity;
+* **bounded history** (footnote 5): truncation caps state while synchrony
+  holds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.parameters import GenericConsensusConfig
+from repro.core.run import run_consensus
+from repro.core.types import FaultModel
+from repro.rounds.policies import GoodBadPolicy
+from repro.rounds.schedule import GoodBadSchedule
+
+
+@pytest.fixture
+def pbft_params():
+    return build_class_parameters(AlgorithmClass.CLASS_3, FaultModel(4, 1, 0))
+
+
+def test_skip_first_selection_saves_a_round(benchmark, pbft_params, report):
+    values = {pid: "same" for pid in range(4)}
+    plain = run_consensus(pbft_params, values)
+
+    def run_skipped():
+        return run_consensus(
+            pbft_params,
+            values,
+            config=GenericConsensusConfig(skip_first_selection=True),
+        )
+
+    skipped = benchmark(run_skipped)
+    report(
+        f"rounds to decide: plain {plain.rounds_to_last_decision}, "
+        f"skip-first-selection {skipped.rounds_to_last_decision}"
+    )
+    assert skipped.agreement_holds and skipped.all_correct_decided
+    assert (
+        skipped.rounds_to_last_decision
+        == plain.rounds_to_last_decision - 1
+    )
+
+
+def test_static_selector_optimization_is_transparent(pbft_params):
+    values = {pid: f"v{pid % 2}" for pid in range(3)}
+    with_opt = run_consensus(
+        pbft_params,
+        values,
+        byzantine={3: "equivocator"},
+        config=GenericConsensusConfig(static_selector_optimization=True),
+    )
+    without_opt = run_consensus(
+        pbft_params,
+        values,
+        byzantine={3: "equivocator"},
+        config=GenericConsensusConfig(static_selector_optimization=False),
+    )
+    assert with_opt.decided_values == without_opt.decided_values
+    assert (
+        with_opt.rounds_to_last_decision == without_opt.rounds_to_last_decision
+    )
+
+
+def test_line26_history_variant_matches_paper_mode(pbft_params):
+    """The ablation switch never changes decisions under our adversaries."""
+    for strategy in ("equivocator", "high-ts-liar", "fake-history-liar"):
+        for seed in range(3):
+            values = {pid: f"v{pid % 2}" for pid in range(3)}
+            policy = GoodBadPolicy(
+                GoodBadSchedule.good_after(7), rng=random.Random(seed)
+            )
+            paper = run_consensus(
+                pbft_params,
+                values,
+                byzantine={3: strategy},
+                policy=policy,
+                max_phases=8,
+            )
+            policy = GoodBadPolicy(
+                GoodBadSchedule.good_after(7), rng=random.Random(seed)
+            )
+            variant = run_consensus(
+                pbft_params,
+                values,
+                byzantine={3: strategy},
+                policy=policy,
+                max_phases=8,
+                config=GenericConsensusConfig(record_validation_in_history=True),
+            )
+            assert paper.agreement_holds and variant.agreement_holds
+            assert paper.decided_values == variant.decided_values, (
+                strategy,
+                seed,
+            )
+
+
+def test_bounded_history_caps_state(pbft_params, report):
+    values = {pid: f"v{pid % 2}" for pid in range(3)}
+    policy = GoodBadPolicy(GoodBadSchedule.good_after(13), rng=random.Random(2))
+    unbounded = run_consensus(
+        pbft_params,
+        values,
+        byzantine={3: "equivocator"},
+        policy=policy,
+        max_phases=12,
+    )
+    policy = GoodBadPolicy(GoodBadSchedule.good_after(13), rng=random.Random(2))
+    bounded = run_consensus(
+        pbft_params,
+        values,
+        byzantine={3: "equivocator"},
+        policy=policy,
+        max_phases=12,
+        config=GenericConsensusConfig(max_history_size=2),
+    )
+    big = max(len(p.state.history) for p in unbounded.honest_processes.values())
+    small = max(len(p.state.history) for p in bounded.honest_processes.values())
+    report(f"max history entries: unbounded {big}, bounded {small}")
+    assert small <= 2
+    assert bounded.agreement_holds and bounded.all_correct_decided

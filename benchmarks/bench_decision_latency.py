@@ -1,0 +1,121 @@
+"""Experiment X2 — decision latency across the three classes.
+
+Derived metric (the paper has no testbed): simulated time-to-decision over
+the discrete-event runtime, fault-free and under Byzantine attack, plus the
+GST sensitivity curve.  The shape to reproduce: class 1 (2 rounds/phase)
+decides fastest per phase; everything stalls until the GST; one clean phase
+after stabilization suffices.
+"""
+
+import pytest
+
+from repro.algorithms import build_fab_paxos, build_mqb, build_paxos, build_pbft
+from repro.eventsim import (
+    PartialSynchronyNetwork,
+    UniformLatency,
+    run_timed_consensus,
+)
+
+ROUND = 2.5
+
+
+def sync_network(seed=7):
+    return PartialSynchronyNetwork(
+        UniformLatency(0.5, 2.0), gst=0.0, delta=2.0, seed=seed
+    )
+
+
+@pytest.mark.parametrize(
+    "builder,n,expected_rounds",
+    [
+        (build_fab_paxos, 6, 2),
+        (build_mqb, 5, 3),
+        (build_pbft, 4, 3),
+        (build_paxos, 3, 3),
+    ],
+)
+def test_latency_fault_free(benchmark, builder, n, expected_rounds):
+    spec = builder(n)
+    values = {pid: f"v{pid % 2}" for pid in range(n)}
+
+    def run():
+        return run_timed_consensus(
+            spec.parameters, values, sync_network(), round_duration=ROUND
+        )
+
+    outcome = benchmark(run)
+    assert outcome.agreement_holds and outcome.all_decided
+    assert outcome.rounds_executed == expected_rounds
+    assert outcome.last_decision_time == pytest.approx(expected_rounds * ROUND)
+
+
+def test_class1_beats_class3_per_phase(report):
+    fab = run_timed_consensus(
+        build_fab_paxos(6).parameters,
+        {pid: "v" for pid in range(6)},
+        sync_network(),
+        round_duration=ROUND,
+    )
+    pbft = run_timed_consensus(
+        build_pbft(4).parameters,
+        {pid: "v" for pid in range(4)},
+        sync_network(),
+        round_duration=ROUND,
+    )
+    report(
+        f"time to decide, fault-free: FaB {fab.last_decision_time:.1f} vs "
+        f"PBFT {pbft.last_decision_time:.1f} (simulated units)"
+    )
+    assert fab.last_decision_time < pbft.last_decision_time
+
+
+def test_gst_sensitivity_curve(report):
+    """Decision time tracks the GST: the curve the model predicts."""
+    spec = build_pbft(4)
+    values = {0: "a", 1: "b", 2: "a"}
+    times = []
+    for gst in (0.0, 15.0, 30.0):
+        network = PartialSynchronyNetwork(
+            UniformLatency(0.5, 2.0),
+            gst=gst,
+            delta=2.0,
+            pre_gst_delay_prob=0.85,
+            seed=11,
+        )
+        outcome = run_timed_consensus(
+            spec.parameters,
+            values,
+            network,
+            round_duration=ROUND,
+            byzantine={3: "equivocator"},
+            max_phases=40,
+        )
+        assert outcome.agreement_holds and outcome.all_decided
+        times.append(outcome.last_decision_time)
+    report(f"PBFT decision time vs GST (0, 15, 30): {times}")
+    assert times[0] < times[1] < times[2]
+    # After the GST at most a few phases pass before deciding.
+    assert times[2] < 30.0 + 6 * 3 * ROUND
+
+
+def test_byzantine_attack_does_not_slow_good_phases(report):
+    """Under synchrony a scripted adversary cannot delay decision."""
+    spec = build_pbft(4)
+    clean = run_timed_consensus(
+        spec.parameters,
+        {pid: f"v{pid % 2}" for pid in range(4)},
+        sync_network(),
+        round_duration=ROUND,
+    )
+    attacked = run_timed_consensus(
+        spec.parameters,
+        {pid: f"v{pid % 2}" for pid in range(3)},
+        sync_network(),
+        round_duration=ROUND,
+        byzantine={3: "equivocator"},
+    )
+    report(
+        f"PBFT decision time clean {clean.last_decision_time:.1f} vs "
+        f"attacked {attacked.last_decision_time:.1f}"
+    )
+    assert attacked.last_decision_time == clean.last_decision_time

@@ -1,0 +1,54 @@
+"""Experiment F1 — Figure 1: FLV for class 1 at n=6, b=1, f=0, TD=5.
+
+The figure illustrates why ``2(n − TD + b)`` is the ``?`` bar: with v1
+locked, TD − b = 4 honest processes vote v1 and at most n − TD + b = 2
+messages can differ, so any vector of more than 4 messages exposes v1.
+We regenerate the scenario across every subset size and benchmark the
+function on the figure's full vector.
+"""
+
+import itertools
+
+from repro.core.flv_class1 import FLVClass1
+from repro.core.types import FaultModel, SelectionMessage
+from repro.utils.sentinels import NULL_VALUE
+
+MODEL = FaultModel(6, 1, 0)
+TD = 5
+
+
+def msg(vote):
+    return SelectionMessage(vote, 0, frozenset({(vote, 0)}), frozenset())
+
+
+def figure1_pool():
+    """TD − b = 4 locked votes v1, n − TD + b = 2 stray votes v2."""
+    return [msg("v1")] * 4 + [msg("v2")] * 2
+
+
+def test_figure1_locked_value_always_safe():
+    flv = FLVClass1(MODEL, TD)
+    pool = figure1_pool()
+    for size in range(len(pool) + 1):
+        for subset in itertools.combinations(range(len(pool)), size):
+            vector = [pool[i] for i in subset]
+            result = flv.evaluate(vector)
+            # FLV-agreement: only v1 or null, never v2 and never ?.
+            assert result in ("v1", NULL_VALUE), (size, result)
+            # The figure's bar: > 2(n − TD + b) = 4 messages expose v1.
+            if len(vector) > 4:
+                assert result == "v1"
+
+
+def test_figure1_threshold_is_tight():
+    """One message fewer than the bar may legitimately answer null."""
+    flv = FLVClass1(MODEL, TD)
+    vector = [msg("v1")] * 2 + [msg("v2")] * 2  # 4 = 2(n − TD + b)
+    assert flv.evaluate(vector) is NULL_VALUE
+
+
+def test_figure1_bench(benchmark):
+    flv = FLVClass1(MODEL, TD)
+    vector = figure1_pool()
+    result = benchmark(flv.evaluate, vector)
+    assert result == "v1"

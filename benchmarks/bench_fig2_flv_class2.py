@@ -1,0 +1,62 @@
+"""Experiment F2 — Figure 2: FLV for class 2 at n=5, b=1, f=0, TD=4.
+
+The figure's configuration: three honest processes hold the locked pair
+⟨v1, φ1⟩, one honest process lags with ⟨v2, φ2′ < φ1⟩, and the Byzantine
+process claims ⟨v2, φ2 > φ1⟩.  Timestamps alone (line 1) admit the
+Byzantine lie into ``possibleVotes``; the ``> b`` support filter (line 2)
+removes it.  We check every subset and benchmark the full vector.
+"""
+
+import itertools
+
+from repro.core.flv_class2 import FLVClass2
+from repro.core.types import FaultModel, SelectionMessage
+from repro.utils.sentinels import NULL_VALUE
+
+MODEL = FaultModel(5, 1, 0)
+TD = 4
+PHI1 = 3
+
+
+def msg(vote, ts):
+    return SelectionMessage(vote, ts, frozenset({(vote, ts)}), frozenset())
+
+
+def figure2_pool():
+    return [
+        msg("v1", PHI1),
+        msg("v1", PHI1),
+        msg("v1", PHI1),       # TD − b locked messages
+        msg("v2", 1),          # honest laggard, φ2′ < φ1
+        msg("v2", 10**6),      # Byzantine: huge timestamp
+    ]
+
+
+def test_figure2_locked_value_always_safe():
+    flv = FLVClass2(MODEL, TD)
+    pool = figure2_pool()
+    for size in range(len(pool) + 1):
+        for subset in itertools.combinations(range(len(pool)), size):
+            vector = [pool[i] for i in subset]
+            result = flv.evaluate(vector)
+            assert result in ("v1", NULL_VALUE), (size, result)
+            # Figure's bar: |μ| > n − TD + 2b = 3 exposes v1.
+            if len(vector) > 3:
+                assert result == "v1"
+
+
+def test_figure2_byzantine_timestamp_dominates_line1_only():
+    """The attack works on line 1 (the lie survives) but dies at line 2."""
+    from repro.core.flv_class2 import survivors
+
+    pool = figure2_pool()
+    kept = survivors(pool, MODEL.n - TD + MODEL.b)
+    assert msg("v2", 10**6) in kept          # line 1 admits the lie
+    assert FLVClass2(MODEL, TD).evaluate(pool) == "v1"  # line 2 kills it
+
+
+def test_figure2_bench(benchmark):
+    flv = FLVClass2(MODEL, TD)
+    vector = figure2_pool()
+    result = benchmark(flv.evaluate, vector)
+    assert result == "v1"

@@ -1,0 +1,79 @@
+"""Experiment X5 — footnote 10: classes ↔ Byzantine quorum families.
+
+Measured claims: the decision thresholds of the three classes are exactly
+the minimal quorum sizes of the opaque / masking / dissemination families at
+the canonical configurations, and the availability frontiers match the
+Table-1 ``n`` bounds.
+"""
+
+import pytest
+
+from repro.core.classification import AlgorithmClass
+from repro.core.flv_class2 import mqb_threshold
+from repro.core.flv_variants import fab_paxos_threshold, pbft_threshold
+from repro.core.types import FaultModel
+from repro.quorums import (
+    DisseminationQuorumSystem,
+    MaskingQuorumSystem,
+    OpaqueQuorumSystem,
+    quorum_system_for_class,
+)
+
+
+@pytest.mark.parametrize("b", [1, 2, 3])
+def test_threshold_equals_quorum_size_at_minimal_n(b, report):
+    rows = []
+    for cls, n, td_fn in (
+        (AlgorithmClass.CLASS_1, 5 * b + 1, fab_paxos_threshold),
+        (AlgorithmClass.CLASS_2, 4 * b + 1, mqb_threshold),
+        (AlgorithmClass.CLASS_3, 3 * b + 1, pbft_threshold),
+    ):
+        model = FaultModel(n, b, 0)
+        qs = quorum_system_for_class(cls, model)
+        rows.append((cls.name, qs.name, td_fn(model), qs.min_quorum_size()))
+        assert td_fn(model) == qs.min_quorum_size()
+    report(f"b={b}: " + ", ".join(f"{c}≡{q}(TD={t}={m})" for c, q, t, m in rows))
+
+
+@pytest.mark.parametrize(
+    "family,factor",
+    [
+        (DisseminationQuorumSystem, 3),
+        (MaskingQuorumSystem, 4),
+        (OpaqueQuorumSystem, 5),
+    ],
+)
+@pytest.mark.parametrize("b", [1, 2])
+def test_availability_frontier_matches_table1(family, factor, b):
+    """Family availability begins exactly at n = factor·b + 1."""
+    assert family(FaultModel(factor * b + 1, b, 0)).is_available()
+    assert not family(FaultModel(factor * b, b, 0)).is_available()
+
+
+def test_intersection_property_ladder(benchmark):
+    """Opaque ⊂ masking ⊂ dissemination at the respective minimal sizes."""
+
+    def check():
+        results = []
+        opaque = OpaqueQuorumSystem(FaultModel(6, 1, 0))
+        masking = MaskingQuorumSystem(FaultModel(5, 1, 0))
+        dissemination = DisseminationQuorumSystem(FaultModel(4, 1, 0))
+        results.append(opaque.intersection_is_opaque())
+        results.append(opaque.intersection_masks_faults())
+        results.append(masking.intersection_masks_faults())
+        results.append(not masking.intersection_is_opaque())
+        results.append(dissemination.intersection_contains_correct())
+        results.append(not dissemination.intersection_masks_faults())
+        return results
+
+    assert all(benchmark(check))
+
+
+def test_enumerated_quorums_confirm_arithmetic():
+    """Brute-force over all minimal quorums at small n."""
+    import itertools
+
+    qs = DisseminationQuorumSystem(FaultModel(4, 1, 0))
+    quorums = list(qs.minimal_quorums())
+    for q1, q2 in itertools.combinations(quorums, 2):
+        assert len(q1 & q2) >= qs.model.b + 1

@@ -1,0 +1,89 @@
+"""Experiment A3/T1 — resilience sweep: where each class lives and dies.
+
+Sweeps n for b ∈ {1, 2} across all three classes: configurations above the
+Table-1 bound must survive the full adversarial battery; configurations at
+or below the bound must be rejected by the constraint checker.  This is the
+constructive reproduction of the paper's headline (FaB n > 5b, MQB n > 4b,
+PBFT n > 3b) and of MQB's existence claim.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.resilience import sweep_class
+from repro.core.classification import AlgorithmClass
+from repro.core.types import FaultModel
+
+BOUND_FACTOR = {
+    AlgorithmClass.CLASS_1: 5,
+    AlgorithmClass.CLASS_2: 4,
+    AlgorithmClass.CLASS_3: 3,
+}
+
+
+@pytest.mark.parametrize("cls", list(AlgorithmClass))
+@pytest.mark.parametrize("b", [1, 2])
+def test_sweep(cls, b, report):
+    factor = BOUND_FACTOR[cls]
+    configurations = [
+        FaultModel(n, b, 0) for n in range(max(b + 1, factor * b - 1), factor * b + 3)
+    ]
+    rows = sweep_class(cls, configurations, max_phases=8)
+    table = [
+        [
+            row.n,
+            row.b,
+            row.scenario,
+            "yes" if row.admitted else "NO",
+            row.agreement,
+            row.termination,
+            row.phases,
+        ]
+        for row in rows
+    ]
+    report(
+        f"{cls.name}, b={b} (bound n > {factor}b):\n"
+        + format_table(
+            ["n", "b", "scenario", "admitted", "agreement", "termination", "phases"],
+            table,
+        )
+    )
+    for row in rows:
+        if row.n > factor * b:
+            assert row.admitted, f"n={row.n} should be admitted"
+            assert row.agreement, f"n={row.n} {row.scenario}: agreement broke"
+            assert row.termination, f"n={row.n} {row.scenario}: stuck"
+        else:
+            assert not row.admitted, f"n={row.n} should be rejected"
+
+
+def test_mqb_exists_exactly_in_the_gap(benchmark):
+    """The paper's discovery: class 2 fills 4b < n ≤ 5b for f = 0."""
+
+    def sweep_gap():
+        b = 1
+        gap_rows = sweep_class(
+            AlgorithmClass.CLASS_2, [FaultModel(5, b, 0)], max_phases=8
+        )
+        fab_rows = sweep_class(
+            AlgorithmClass.CLASS_1, [FaultModel(5, b, 0)], max_phases=8
+        )
+        return gap_rows, fab_rows
+
+    gap_rows, fab_rows = benchmark(sweep_gap)
+    assert all(row.admitted and row.agreement and row.termination for row in gap_rows)
+    assert all(not row.admitted for row in fab_rows)
+
+
+def test_benign_frontier():
+    """b = 0: classes 2/3 at n > 2f, class 1 at n > 3f."""
+    rows2 = sweep_class(
+        AlgorithmClass.CLASS_2, [FaultModel(3, 0, 1), FaultModel(2, 0, 1)]
+    )
+    assert rows2[0].admitted and rows2[0].termination
+    assert not rows2[1].admitted
+    rows1 = sweep_class(
+        AlgorithmClass.CLASS_1, [FaultModel(4, 0, 1), FaultModel(3, 0, 1)]
+    )
+    assert rows1[0].admitted and rows1[0].termination
+    assert not rows1[1].admitted

@@ -1,0 +1,63 @@
+"""Experiment X6 — state machine replication throughput (Section 5.3 context).
+
+Derived metric: slots committed, phases and messages per slot for a
+Paxos-replicated and a PBFT-replicated key-value store, with replica-state
+digest agreement checked at the end.
+"""
+
+import pytest
+
+from repro.algorithms import build_paxos, build_pbft
+from repro.smr import KeyValueStore, ReplicatedService
+
+WORKLOAD = [("set", f"key{i}", i) for i in range(8)]
+
+
+def drive(spec, byzantine=None):
+    service = ReplicatedService(spec, KeyValueStore, byzantine=byzantine)
+    for command in WORKLOAD:
+        service.submit(command)
+    return service.run_until_drained(max_slots=20)
+
+
+def test_paxos_smr_throughput(benchmark, report):
+    report_obj = benchmark(drive, build_paxos(3))
+    assert report_obj.slots_committed == len(WORKLOAD)
+    assert report_obj.digests_agree
+    report(
+        f"Paxos SMR: {report_obj.slots_committed} slots, "
+        f"{report_obj.phases_per_slot:.2f} phases/slot, "
+        f"{report_obj.total_messages} messages"
+    )
+
+
+def test_pbft_smr_throughput_under_attack(benchmark, report):
+    report_obj = benchmark(drive, build_pbft(4), {3: "equivocator"})
+    assert report_obj.slots_committed == len(WORKLOAD)
+    assert report_obj.digests_agree
+    report(
+        f"PBFT SMR (equivocator): {report_obj.slots_committed} slots, "
+        f"{report_obj.phases_per_slot:.2f} phases/slot, "
+        f"{report_obj.total_messages} messages"
+    )
+
+
+def test_pbft_costs_more_messages_than_paxos(report):
+    paxos = drive(build_paxos(3))
+    pbft = drive(build_pbft(4))
+    per_slot_paxos = paxos.total_messages / paxos.slots_committed
+    per_slot_pbft = pbft.total_messages / pbft.slots_committed
+    report(
+        f"messages/slot: Paxos {per_slot_paxos:.0f}, PBFT {per_slot_pbft:.0f}"
+    )
+    assert per_slot_pbft > per_slot_paxos
+
+
+def test_state_convergence_is_checked():
+    service = ReplicatedService(build_pbft(4), KeyValueStore,
+                                byzantine={3: "vote-flipper"})
+    service.submit(("set", "x", 1))
+    report_obj = service.run_until_drained()
+    assert report_obj.digests_agree
+    digests = {m.digest() for m in service.machines.values()}
+    assert len(digests) == 1

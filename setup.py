@@ -1,0 +1,8 @@
+"""Shim so that legacy ``setup.py develop`` / old pip+setuptools installs work.
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

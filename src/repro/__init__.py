@@ -1,0 +1,78 @@
+"""repro — generic construction of consensus algorithms for benign and
+Byzantine faults.
+
+A full reproduction of Rütti, Milosevic & Schiper (DSN 2010): the generic
+round-based consensus algorithm, its three classes of instantiations
+(OneThirdRule, FaB Paxos / Paxos, Chandra-Toueg, MQB / PBFT), the randomized
+adaptation (Ben-Or), and the simulation substrates they run on (round model,
+partial synchrony with communication predicates, Byzantine adversaries,
+quorum systems, discrete-event timing, state machine replication).
+
+Quickstart::
+
+    from repro import AlgorithmClass, FaultModel, build_class_parameters, run_consensus
+
+    model = FaultModel(n=4, b=1)                       # PBFT territory
+    params = build_class_parameters(AlgorithmClass.CLASS_3, model)
+    outcome = run_consensus(params, {0: "A", 2: "B", 3: "A"},
+                            byzantine={1: "equivocator"})
+    print(outcome.decisions)
+"""
+
+from repro.core import (
+    AlgorithmClass,
+    AllProcessesSelector,
+    ConsensusOutcome,
+    ConsensusParameters,
+    ConsensusState,
+    FLVClass1,
+    FLVClass2,
+    FLVClass3,
+    FLVFunction,
+    FaultModel,
+    Flag,
+    GenericConsensusConfig,
+    GenericConsensusProcess,
+    LeaderSelector,
+    ParameterError,
+    RotatingCoordinatorSelector,
+    RotatingSubsetSelector,
+    RoundKind,
+    RoundStructure,
+    Selector,
+    build_class_parameters,
+    classify,
+    run_consensus,
+)
+from repro.utils.sentinels import ANY_VALUE, NULL_VALUE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_VALUE",
+    "AlgorithmClass",
+    "AllProcessesSelector",
+    "ConsensusOutcome",
+    "ConsensusParameters",
+    "ConsensusState",
+    "FLVClass1",
+    "FLVClass2",
+    "FLVClass3",
+    "FLVFunction",
+    "FaultModel",
+    "Flag",
+    "GenericConsensusConfig",
+    "GenericConsensusProcess",
+    "LeaderSelector",
+    "NULL_VALUE",
+    "ParameterError",
+    "RotatingCoordinatorSelector",
+    "RotatingSubsetSelector",
+    "RoundKind",
+    "RoundStructure",
+    "Selector",
+    "__version__",
+    "build_class_parameters",
+    "classify",
+    "run_consensus",
+]

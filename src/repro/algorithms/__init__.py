@@ -1,0 +1,41 @@
+"""Named consensus algorithms obtained by instantiating Algorithm 1.
+
+Each module provides a ``build_*`` function returning an
+:class:`~repro.algorithms.registry.AlgorithmSpec` — the parameterization of
+the generic algorithm plus metadata — matching Section 5 of the paper:
+
+* :mod:`~repro.algorithms.one_third_rule` — OneThirdRule (class 1, benign);
+* :mod:`~repro.algorithms.fab_paxos` — FaB Paxos (class 1, Byzantine, n>5b);
+* :mod:`~repro.algorithms.mqb` — MQB, the paper's new algorithm (class 2,
+  Byzantine, n>4b);
+* :mod:`~repro.algorithms.paxos` — Paxos (class 2/3, benign, leader-based);
+* :mod:`~repro.algorithms.chandra_toueg` — CT (class 2/3, benign, rotating
+  coordinator);
+* :mod:`~repro.algorithms.pbft` — PBFT (class 3, Byzantine, n>3b);
+* :mod:`~repro.algorithms.ben_or` — Ben-Or (randomized, Section 6).
+"""
+
+from repro.algorithms.ben_or import build_ben_or
+from repro.algorithms.chandra_toueg import build_chandra_toueg
+from repro.algorithms.fab_paxos import build_fab_paxos
+from repro.algorithms.mqb import build_mqb
+from repro.algorithms.one_third_rule import (
+    OriginalOneThirdRuleProcess,
+    build_one_third_rule,
+)
+from repro.algorithms.paxos import build_paxos
+from repro.algorithms.pbft import build_pbft
+from repro.algorithms.registry import ALGORITHM_BUILDERS, AlgorithmSpec
+
+__all__ = [
+    "ALGORITHM_BUILDERS",
+    "AlgorithmSpec",
+    "OriginalOneThirdRuleProcess",
+    "build_ben_or",
+    "build_chandra_toueg",
+    "build_fab_paxos",
+    "build_mqb",
+    "build_one_third_rule",
+    "build_paxos",
+    "build_pbft",
+]

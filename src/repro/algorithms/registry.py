@@ -1,0 +1,65 @@
+"""Common structure for named algorithm instantiations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.core.classification import AlgorithmClass, classify
+from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
+from repro.core.run import ConsensusOutcome, run_consensus
+from repro.core.types import ProcessId, Value
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named instantiation of the generic algorithm.
+
+    Bundles the parameters, the per-process config and paper metadata, and
+    offers a :meth:`run` shortcut.  ``classify(spec.parameters)`` recovers
+    the Table-1 class; ``spec.algorithm_class`` records the class the paper
+    assigns (they agree — a test asserts it).
+    """
+
+    name: str
+    parameters: ConsensusParameters
+    algorithm_class: Optional[AlgorithmClass]
+    paper_section: str
+    notes: str = ""
+    config: GenericConsensusConfig = field(default_factory=GenericConsensusConfig)
+
+    def run(
+        self,
+        initial_values: Mapping[ProcessId, Value],
+        **kwargs,
+    ) -> ConsensusOutcome:
+        """Run one instance (see :func:`~repro.core.run.run_consensus`)."""
+        kwargs.setdefault("config", self.config)
+        return run_consensus(self.parameters, initial_values, **kwargs)
+
+    @property
+    def classified_as(self) -> Optional[AlgorithmClass]:
+        """The class derived from the parameters (should match the paper's)."""
+        return classify(self.parameters)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.parameters.describe()} "
+            f"[class {self.algorithm_class.value if self.algorithm_class else '—'}, "
+            f"{self.paper_section}]"
+        )
+
+
+#: Builders registered by the algorithm modules (filled in lazily to avoid
+#: import cycles; see :func:`algorithm_builders`).
+ALGORITHM_BUILDERS: Dict[str, Callable[..., AlgorithmSpec]] = {}
+
+
+def register(name: str):
+    """Decorator: register an algorithm builder under ``name``."""
+
+    def decorate(builder: Callable[..., AlgorithmSpec]):
+        ALGORITHM_BUILDERS[name] = builder
+        return builder
+
+    return decorate

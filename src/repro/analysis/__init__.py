@@ -1,0 +1,24 @@
+"""Trace recording, invariant checking, metrics and sweep harnesses."""
+
+from repro.analysis.invariants import (
+    InvariantViolation,
+    check_agreement,
+    check_integrity,
+    check_termination,
+    check_unanimity,
+    check_validity,
+)
+from repro.analysis.metrics import RunMetrics
+from repro.analysis.trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "ExecutionTrace",
+    "InvariantViolation",
+    "RoundRecord",
+    "RunMetrics",
+    "check_agreement",
+    "check_integrity",
+    "check_termination",
+    "check_unanimity",
+    "check_validity",
+]

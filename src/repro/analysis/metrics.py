@@ -1,0 +1,63 @@
+"""Run metrics: rounds/phases to decision, message counts, state sizes.
+
+These power the latency and message-complexity benches (experiment ids X2,
+X3 in DESIGN.md) and the Table-1 bench's "rounds per phase" and "process
+state" columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (run.py uses rounds)
+    from repro.core.run import ConsensusOutcome
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate measurements extracted from a finished run."""
+
+    rounds_executed: int
+    rounds_to_first_decision: Optional[int]
+    rounds_to_last_decision: Optional[int]
+    phases_to_last_decision: Optional[int]
+    messages_sent: int
+    messages_delivered: int
+    decided_count: int
+    max_history_size: int
+    state_footprint: tuple
+
+    @classmethod
+    def from_outcome(cls, outcome: "ConsensusOutcome") -> "RunMetrics":
+        trace = outcome.result.trace
+        histories = [
+            len(process.state.history)
+            for process in outcome.honest_processes.values()
+        ]
+        return cls(
+            rounds_executed=trace.rounds_executed,
+            rounds_to_first_decision=trace.first_decision_round(),
+            rounds_to_last_decision=trace.last_decision_round(),
+            phases_to_last_decision=outcome.phases_to_last_decision,
+            messages_sent=trace.total_messages_sent,
+            messages_delivered=trace.total_messages_delivered,
+            decided_count=len(trace.decisions),
+            max_history_size=max(histories) if histories else 0,
+            state_footprint=outcome.parameters.state_footprint,
+        )
+
+    @property
+    def messages_per_round(self) -> float:
+        """Average sent messages per executed round."""
+        if self.rounds_executed == 0:
+            return 0.0
+        return self.messages_sent / self.rounds_executed
+
+    def describe(self) -> str:
+        return (
+            f"rounds={self.rounds_executed}, "
+            f"last_decision_round={self.rounds_to_last_decision}, "
+            f"phases={self.phases_to_last_decision}, "
+            f"msgs={self.messages_sent}, state={'/'.join(self.state_footprint)}"
+        )

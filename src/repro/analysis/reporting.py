@@ -1,0 +1,44 @@
+"""Plain-text tables for benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers)).rstrip()
+    ]
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: Iterable[tuple]) -> str:
+    """A titled key/value block used in bench stdout summaries."""
+    lines = [title, "=" * len(title)]
+    for key, value in pairs:
+        lines.append(f"{key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Resilience sweeps: empirically mapping the Table-1 bounds.
+
+Two tools:
+
+* :func:`force_parameters` — construct a :class:`ConsensusParameters` object
+  *bypassing* the constraint validation, so below-bound configurations can
+  be executed to *demonstrate* the failures the theory predicts (safety
+  violations or permanent null-liveness);
+* :func:`sweep_class` — for a class and a grid of ``(n, b)`` / ``(n, f)``,
+  run a battery of adversarial scenarios and record whether agreement and
+  termination held, producing the raw data behind
+  ``benchmarks/bench_table1_classification.py`` and
+  ``benchmarks/bench_resilience_sweep.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.classification import AlgorithmClass
+from repro.core.parameters import ConsensusParameters
+from repro.core.run import run_consensus
+from repro.core.selector import AllProcessesSelector, Selector
+from repro.core.types import FaultModel, Flag
+from repro.faults.crash import CrashSchedule
+
+
+def force_parameters(
+    model: FaultModel,
+    threshold: int,
+    flag: Flag,
+    flv,
+    selector: Optional[Selector] = None,
+) -> ConsensusParameters:
+    """Build parameters without constraint validation (experiments only).
+
+    Regular construction raises on configurations that violate Theorem 1's
+    conditions; this helper instantiates them anyway so that benches can
+    exhibit the resulting safety/liveness failures.
+    """
+    params = object.__new__(ConsensusParameters)
+    object.__setattr__(params, "model", model)
+    object.__setattr__(params, "threshold", threshold)
+    object.__setattr__(params, "flag", flag)
+    object.__setattr__(params, "flv", flv)
+    object.__setattr__(
+        params, "selector", selector or AllProcessesSelector(model)
+    )
+    return params
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One (configuration, scenario) cell of a sweep."""
+
+    n: int
+    b: int
+    f: int
+    scenario: str
+    admitted: bool  # did the class's bounds admit this configuration?
+    agreement: Optional[bool] = None
+    termination: Optional[bool] = None
+    phases: Optional[int] = None
+
+
+#: Byzantine scenarios exercised per configuration (strategy name per slot).
+DEFAULT_BYZANTINE_SCENARIOS: Sequence[str] = (
+    "silent",
+    "equivocator",
+    "vote-flipper",
+    "high-ts-liar",
+    "fake-history-liar",
+)
+
+
+def sweep_class(
+    algorithm_class: AlgorithmClass,
+    configurations: Sequence[FaultModel],
+    *,
+    scenarios: Sequence[str] = DEFAULT_BYZANTINE_SCENARIOS,
+    max_phases: int = 12,
+) -> List[ScenarioResult]:
+    """Run each admissible configuration through the scenario battery.
+
+    Non-admissible configurations produce a single ``admitted=False`` row —
+    the constructive counterpart of Table 1's ``n`` column.
+    """
+    from repro.core.classification import build_class_parameters
+
+    results: List[ScenarioResult] = []
+    for model in configurations:
+        if not algorithm_class.admits(model):
+            results.append(
+                ScenarioResult(
+                    n=model.n, b=model.b, f=model.f,
+                    scenario="-", admitted=False,
+                )
+            )
+            continue
+        parameters = build_class_parameters(algorithm_class, model)
+        for scenario in _applicable(scenarios, model):
+            outcome = _run_scenario(parameters, scenario, max_phases)
+            results.append(outcome)
+    return results
+
+
+def _applicable(scenarios: Sequence[str], model: FaultModel) -> Sequence[str]:
+    if model.b == 0:
+        return ("crash",) if model.f else ("fault-free",)
+    return scenarios
+
+
+def _run_scenario(
+    parameters: ConsensusParameters, scenario: str, max_phases: int
+) -> ScenarioResult:
+    model = parameters.model
+    byzantine: Dict[int, str] = {}
+    crash_schedule = None
+    if scenario == "crash":
+        crash_schedule = CrashSchedule.crash_first_f(model, round_number=1)
+    elif scenario not in ("fault-free",):
+        byzantine = {
+            model.n - 1 - i: scenario for i in range(model.b)
+        }
+    initial_values = {
+        pid: f"v{pid % 2}"
+        for pid in model.processes
+        if pid not in byzantine
+    }
+    outcome = run_consensus(
+        parameters,
+        initial_values,
+        byzantine=byzantine,
+        crash_schedule=crash_schedule,
+        max_phases=max_phases,
+    )
+    return ScenarioResult(
+        n=model.n, b=model.b, f=model.f,
+        scenario=scenario,
+        admitted=True,
+        agreement=outcome.agreement_holds,
+        termination=outcome.all_correct_decided,
+        phases=outcome.phases_to_last_decision,
+    )

@@ -1,0 +1,80 @@
+"""Execution traces of round-model runs.
+
+The engine records one :class:`RoundRecord` per executed round: how many
+messages were sent/delivered, whether the communication predicates held, and
+optional state snapshots.  Traces power the invariant checkers, the metrics
+module and the figure benches (which need to point at the exact round in
+which a predicate held or a decision fired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.types import Decision, ProcessId, RoundInfo
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one executed round."""
+
+    info: RoundInfo
+    sent_count: int
+    delivered_count: int
+    pgood: bool
+    pcons: bool
+    prel: bool
+    #: Optional per-process state snapshots ``pid → (vote, ts, history)``.
+    snapshots: Dict[ProcessId, Tuple] = field(default_factory=dict)
+    #: Decisions that fired in this round.
+    decisions: Tuple[Decision, ...] = ()
+
+
+@dataclass
+class ExecutionTrace:
+    """The full record of a run."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+    #: First decision of each process.
+    decisions: Dict[ProcessId, Decision] = field(default_factory=dict)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+        for decision in record.decisions:
+            self.decisions.setdefault(decision.process, decision)
+
+    @property
+    def rounds_executed(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_messages_sent(self) -> int:
+        return sum(record.sent_count for record in self.records)
+
+    @property
+    def total_messages_delivered(self) -> int:
+        return sum(record.delivered_count for record in self.records)
+
+    def first_decision_round(self) -> Optional[int]:
+        """Round number of the earliest decision, or ``None``."""
+        rounds = [decision.round for decision in self.decisions.values()]
+        return min(rounds) if rounds else None
+
+    def last_decision_round(self) -> Optional[int]:
+        """Round number of the latest (first-per-process) decision."""
+        rounds = [decision.round for decision in self.decisions.values()]
+        return max(rounds) if rounds else None
+
+    def rounds_where(self, *, pcons: Optional[bool] = None) -> List[RoundRecord]:
+        """Filter records by predicate outcome."""
+        out = []
+        for record in self.records:
+            if pcons is not None and record.pcons != pcons:
+                continue
+            out.append(record)
+        return out
+
+    def decided_values(self) -> set:
+        """The set of values decided by any process in this trace."""
+        return {decision.value for decision in self.decisions.values()}

@@ -1,0 +1,188 @@
+"""Table 1 of the paper, in code: the three classes of consensus algorithms.
+
+Each class fixes ``FLAG`` and the lower bound on ``TD``; combining the bound
+with the termination requirement ``TD ≤ n − b − f`` yields the resilience
+bound on ``n``.  The module exposes:
+
+* :class:`AlgorithmClass` — the class enumeration with all Table-1 columns,
+* :func:`classify` — map a :class:`ConsensusParameters` to its class,
+* :func:`build_class_parameters` — construct canonical parameters for a class
+  at given ``(n, b, f)`` (used heavily by tests and the Table-1 bench).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.flv import FLVFunction
+from repro.core.flv_class1 import FLVClass1, class1_min_threshold
+from repro.core.flv_class2 import FLVClass2, class2_min_threshold
+from repro.core.flv_class3 import FLVClass3, class3_min_threshold
+from repro.core.parameters import ConsensusParameters, ParameterError
+from repro.core.selector import AllProcessesSelector, Selector
+from repro.core.types import FaultModel, Flag
+
+
+@dataclass(frozen=True)
+class ClassRow:
+    """One row of Table 1."""
+
+    flag: Flag
+    #: (coefficient of n, coefficient of b, coefficient of f, divisor) in the
+    #: strict lower bound ``TD · divisor > cn·n + cb·b + cf·f``.
+    td_bound: Tuple[int, int, int, int]
+    #: (coefficient of b, coefficient of f) in the strict bound on n.
+    n_bound: Tuple[int, int]
+    state: Tuple[str, ...]
+    rounds_per_phase: int
+    examples: Tuple[str, ...]
+
+
+class AlgorithmClass(enum.Enum):
+    """The three classes identified by the paper (Section 4, Table 1)."""
+
+    CLASS_1 = 1
+    CLASS_2 = 2
+    CLASS_3 = 3
+
+    @property
+    def row(self) -> ClassRow:
+        return _TABLE_1[self]
+
+    @property
+    def flag(self) -> Flag:
+        return self.row.flag
+
+    @property
+    def rounds_per_phase(self) -> int:
+        return self.row.rounds_per_phase
+
+    @property
+    def state(self) -> Tuple[str, ...]:
+        return self.row.state
+
+    @property
+    def examples(self) -> Tuple[str, ...]:
+        return self.row.examples
+
+    def min_processes(self, b: int, f: int) -> int:
+        """Smallest ``n`` satisfying the class's resilience bound."""
+        cb, cf = self.row.n_bound
+        return cb * b + cf * f + 1
+
+    def td_strict_lower_bound(self, model: FaultModel) -> float:
+        """The real-valued strict lower bound on ``TD`` for this class."""
+        cn, cb, cf, divisor = self.row.td_bound
+        return (cn * model.n + cb * model.b + cf * model.f) / divisor
+
+    def min_threshold(self, model: FaultModel) -> int:
+        """Smallest integer ``TD`` above the class's lower bound."""
+        cn, cb, cf, divisor = self.row.td_bound
+        return (cn * model.n + cb * model.b + cf * model.f) // divisor + 1
+
+    def admits(self, model: FaultModel) -> bool:
+        """True iff the class's bounds leave room for a valid ``TD``.
+
+        Requires ``min_threshold ≤ n − b − f`` (termination) — equivalent to
+        the ``n`` bound of Table 1.
+        """
+        return self.min_threshold(model) <= model.max_decision_threshold
+
+    def make_flv(self, model: FaultModel, threshold: int) -> FLVFunction:
+        """Construct the canonical FLV (Algorithms 2-4) for this class."""
+        factory = {
+            AlgorithmClass.CLASS_1: FLVClass1,
+            AlgorithmClass.CLASS_2: FLVClass2,
+            AlgorithmClass.CLASS_3: FLVClass3,
+        }[self]
+        return factory(model, threshold)
+
+
+_TABLE_1 = {
+    AlgorithmClass.CLASS_1: ClassRow(
+        flag=Flag.ANY,
+        td_bound=(1, 3, 1, 2),  # TD > (n + 3b + f)/2
+        n_bound=(5, 3),  # n > 5b + 3f
+        state=("vote",),
+        rounds_per_phase=2,
+        examples=("OneThirdRule (b=0)", "FaB Paxos (f=0)"),
+    ),
+    AlgorithmClass.CLASS_2: ClassRow(
+        flag=Flag.CURRENT_PHASE,
+        td_bound=(0, 3, 1, 1),  # TD > 3b + f
+        n_bound=(4, 2),  # n > 4b + 2f
+        state=("vote", "ts"),
+        rounds_per_phase=3,
+        examples=("Paxos (b=0)", "CT (b=0)", "MQB (f=0, new)"),
+    ),
+    AlgorithmClass.CLASS_3: ClassRow(
+        flag=Flag.CURRENT_PHASE,
+        td_bound=(0, 2, 1, 1),  # TD > 2b + f
+        n_bound=(3, 2),  # n > 3b + 2f
+        state=("vote", "ts", "history"),
+        rounds_per_phase=3,
+        examples=("Paxos (b=0)", "CT (b=0)", "PBFT (f=0)"),
+    ),
+}
+
+# Consistency of the derived-threshold helpers with the table data.
+assert class1_min_threshold(FaultModel(10, 1, 1)) == AlgorithmClass.CLASS_1.min_threshold(
+    FaultModel(10, 1, 1)
+)
+assert class2_min_threshold(FaultModel(10, 1, 1)) == AlgorithmClass.CLASS_2.min_threshold(
+    FaultModel(10, 1, 1)
+)
+assert class3_min_threshold(FaultModel(10, 1, 1)) == AlgorithmClass.CLASS_3.min_threshold(
+    FaultModel(10, 1, 1)
+)
+
+
+def classify(parameters: ConsensusParameters) -> Optional[AlgorithmClass]:
+    """Return the most resilient (highest-numbered) class admitting ``parameters``.
+
+    A parameter set belongs to a class when its FLAG matches and its ``TD``
+    clears the class's lower bound.  Class-2 parameters also satisfy the
+    class-3 bound, so we report the *tightest* applicable class — matching
+    the paper's convention that e.g. Paxos "belongs to class 2 and trivially
+    to class 3 for b = 0".  ``None`` means the parameters fit no class.
+    """
+    matches = [
+        cls
+        for cls in AlgorithmClass
+        if cls.flag is parameters.flag
+        and parameters.threshold > cls.td_strict_lower_bound(parameters.model)
+    ]
+    if not matches:
+        return None
+    return min(matches, key=lambda cls: cls.value)
+
+
+def build_class_parameters(
+    algorithm_class: AlgorithmClass,
+    model: FaultModel,
+    *,
+    threshold: Optional[int] = None,
+    selector: Optional[Selector] = None,
+) -> ConsensusParameters:
+    """Canonical parameters for a class at ``(n, b, f)``.
+
+    Defaults: the minimal admissible ``TD`` and the Π selector.  Raises
+    :class:`ParameterError` when the model violates the class's ``n`` bound.
+    """
+    if not algorithm_class.admits(model):
+        raise ParameterError(
+            f"{algorithm_class} requires n > "
+            f"{algorithm_class.row.n_bound[0]}b + {algorithm_class.row.n_bound[1]}f; "
+            f"got {model.describe()}"
+        )
+    td = threshold if threshold is not None else algorithm_class.min_threshold(model)
+    flv = algorithm_class.make_flv(model, td)
+    return ConsensusParameters(
+        model=model,
+        threshold=td,
+        flag=algorithm_class.flag,
+        flv=flv,
+        selector=selector or AllProcessesSelector(model),
+    )

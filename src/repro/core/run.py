@@ -1,0 +1,237 @@
+"""High-level harness: build and run one consensus instance.
+
+This is the main entry point of the library::
+
+    from repro import run_consensus, build_class_parameters, AlgorithmClass
+    from repro.core.types import FaultModel
+
+    model = FaultModel(n=4, b=1)
+    params = build_class_parameters(AlgorithmClass.CLASS_3, model)
+    outcome = run_consensus(params, {0: "a", 2: "b", 3: "a"},
+                            byzantine={1: "equivocator"})
+    assert outcome.agreement_holds
+
+``run_consensus`` assembles the honest processes (Algorithm 1), Byzantine
+strategies, crash schedule and delivery policy, runs the lockstep engine and
+returns a :class:`ConsensusOutcome` with decisions, the execution trace and
+invariant checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
+from repro.core.process import GenericConsensusProcess, RoundStructure
+from repro.core.types import Decision, ProcessId, RoundInfo, Value
+from repro.faults.byzantine import (
+    AdaptiveLiar,
+    ByzantineStrategy,
+    Equivocator,
+    FakeHistoryLiar,
+    HighTimestampLiar,
+    RandomNoise,
+    SilentByzantine,
+    VoteFlipper,
+)
+from repro.faults.crash import CrashSchedule
+from repro.rounds.base import RoundProcess, RunContext
+from repro.rounds.engine import EngineResult, SyncEngine
+from repro.rounds.policies import DeliveryPolicy, ReliablePolicy
+
+#: Named Byzantine strategies accepted by ``run_consensus(byzantine=...)``.
+STRATEGY_REGISTRY: Dict[str, Callable[..., ByzantineStrategy]] = {
+    "silent": SilentByzantine,
+    "noise": RandomNoise,
+    "equivocator": Equivocator,
+    "vote-flipper": VoteFlipper,
+    "high-ts-liar": HighTimestampLiar,
+    "fake-history-liar": FakeHistoryLiar,
+    "adaptive-liar": AdaptiveLiar,
+}
+
+#: A Byzantine slot is a strategy name, an instance, or a factory.
+ByzantineSpec = Union[
+    str, ByzantineStrategy, Callable[[ProcessId, ConsensusParameters], ByzantineStrategy]
+]
+
+
+@dataclass
+class ConsensusOutcome:
+    """Everything a caller might want to know about one run."""
+
+    parameters: ConsensusParameters
+    result: EngineResult
+    processes: Dict[ProcessId, RoundProcess]
+    initial_values: Dict[ProcessId, Value]
+    structure: RoundStructure
+
+    @property
+    def decisions(self) -> Dict[ProcessId, Decision]:
+        """First decision of each honest process that decided."""
+        return self.result.decisions
+
+    @property
+    def decided_values(self) -> set:
+        return self.result.decided_values()
+
+    @property
+    def honest_processes(self) -> Dict[ProcessId, GenericConsensusProcess]:
+        return {
+            pid: process
+            for pid, process in self.processes.items()
+            if isinstance(process, GenericConsensusProcess)
+        }
+
+    @property
+    def agreement_holds(self) -> bool:
+        """No two honest processes decided differently."""
+        return len(self.decided_values) <= 1
+
+    @property
+    def all_correct_decided(self) -> bool:
+        """Every correct (honest, never-crashed) process decided."""
+        correct = self.result.context.correct
+        return all(pid in self.decisions for pid in correct)
+
+    @property
+    def rounds_to_last_decision(self) -> Optional[int]:
+        return self.result.trace.last_decision_round()
+
+    @property
+    def phases_to_last_decision(self) -> Optional[int]:
+        rounds = self.rounds_to_last_decision
+        if rounds is None:
+            return None
+        return self.structure.info(rounds).phase
+
+    def validity_holds(self) -> bool:
+        """If all processes are honest, decisions come from initial values.
+
+        Vacuously true when Byzantine processes exist (the paper's validity
+        property only constrains the all-honest case).
+        """
+        if self.result.context.byzantine:
+            return True
+        initials = set(self.initial_values.values())
+        return all(value in initials for value in self.decided_values)
+
+    def unanimity_holds(self) -> bool:
+        """If all honest processes proposed the same v, only v is decided."""
+        honest = [
+            value
+            for pid, value in self.initial_values.items()
+            if pid not in self.result.context.byzantine
+        ]
+        if len(set(honest)) != 1:
+            return True
+        (common,) = set(honest)
+        return all(value == common for value in self.decided_values)
+
+
+def _build_byzantine(
+    pid: ProcessId, spec: ByzantineSpec, parameters: ConsensusParameters
+) -> ByzantineStrategy:
+    if isinstance(spec, ByzantineStrategy):
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = STRATEGY_REGISTRY[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown Byzantine strategy {spec!r}; "
+                f"known: {sorted(STRATEGY_REGISTRY)}"
+            ) from None
+        return factory(pid, parameters)
+    return spec(pid, parameters)
+
+
+def run_consensus(
+    parameters: ConsensusParameters,
+    initial_values: Mapping[ProcessId, Value],
+    *,
+    config: Optional[GenericConsensusConfig] = None,
+    byzantine: Optional[Mapping[ProcessId, ByzantineSpec]] = None,
+    policy: Optional[DeliveryPolicy] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+    max_phases: int = 30,
+    record_snapshots: bool = False,
+) -> ConsensusOutcome:
+    """Run one instance of the generic consensus algorithm.
+
+    ``initial_values`` must provide a proposal for every honest process;
+    ``byzantine`` maps process ids to strategies (at most ``b`` entries).
+    The run stops as soon as every eventually-correct process has decided,
+    or after ``max_phases`` phases.
+    """
+    model = parameters.model
+    config = config or GenericConsensusConfig()
+    byzantine = dict(byzantine or {})
+    if len(byzantine) > model.b:
+        raise ValueError(
+            f"{len(byzantine)} Byzantine processes exceed b={model.b}"
+        )
+
+    structure = RoundStructure(
+        parameters.flag, skip_first_selection=config.skip_first_selection
+    )
+
+    processes: Dict[ProcessId, RoundProcess] = {}
+    initials: Dict[ProcessId, Value] = {}
+    for pid in model.processes:
+        if pid in byzantine:
+            processes[pid] = _build_byzantine(pid, byzantine[pid], parameters)
+            continue
+        if pid not in initial_values:
+            raise ValueError(f"missing initial value for honest process {pid}")
+        initials[pid] = initial_values[pid]
+        processes[pid] = GenericConsensusProcess(
+            pid, initial_values[pid], parameters, config
+        )
+
+    context = RunContext(model, byzantine=frozenset(byzantine))
+
+    def decision_probe(
+        pid: ProcessId, process: RoundProcess, info: RoundInfo
+    ) -> Optional[Decision]:
+        if isinstance(process, GenericConsensusProcess) and process.has_decided:
+            return Decision(
+                process=pid,
+                value=process.decided,
+                round=process.decision_round or info.number,
+                phase=structure.info(process.decision_round or info.number).phase,
+            )
+        return None
+
+    def snapshot_fn(pid: ProcessId, process: RoundProcess) -> object:
+        if isinstance(process, GenericConsensusProcess):
+            return process.state.snapshot()
+        return None
+
+    engine = SyncEngine(
+        model,
+        processes,
+        policy or ReliablePolicy(),
+        structure.info,
+        context=context,
+        crash_schedule=crash_schedule,
+        decision_probe=decision_probe,
+        snapshot_fn=snapshot_fn,
+        record_snapshots=record_snapshots,
+    )
+
+    target = engine.eventually_correct
+
+    def stop_when(trace) -> bool:
+        return target <= set(trace.decisions)
+
+    max_rounds = structure.rounds_for_phases(max_phases)
+    result = engine.run(max_rounds, stop_when=stop_when)
+    return ConsensusOutcome(
+        parameters=parameters,
+        result=result,
+        processes=processes,
+        initial_values=initials,
+        structure=structure,
+    )

@@ -1,0 +1,16 @@
+"""Oracle simulations: Ω-style leader election and ♦S-style failure detection."""
+
+from repro.detectors.failure_detector import (
+    DiamondS,
+    SuspicionSample,
+    suspicion_driven_oracle,
+)
+from repro.detectors.leader import OmegaOracle, StabilizingLeaderOracle
+
+__all__ = [
+    "DiamondS",
+    "OmegaOracle",
+    "StabilizingLeaderOracle",
+    "SuspicionSample",
+    "suspicion_driven_oracle",
+]

@@ -1,0 +1,125 @@
+"""A ♦S-style failure detector simulation.
+
+Chandra-Toueg's CT algorithm [5] relies on a failure detector of class ♦S:
+*strong completeness* (every faulty process is eventually suspected by every
+correct process) and *eventual weak accuracy* (eventually some correct
+process is never suspected).  In a round-model simulation the detector is a
+function of (observer, round) returning the suspected set.
+
+:class:`DiamondS` produces suspicion samples with a configurable noisy
+prefix: before ``accurate_from_round`` correct processes may be falsely
+suspected (pseudo-randomly); afterwards exactly the true faulty set is
+suspected.  CT's rotating coordinator uses it to decide whether to wait for
+the coordinator or move on — in our instantiation this surfaces as phases
+skipped when the coordinator is suspected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import AbstractSet, FrozenSet
+
+from repro.core.types import FaultModel, ProcessId, Round
+
+
+class SuspicionSample:
+    """The detector output at one observer in one round."""
+
+    def __init__(self, suspects: FrozenSet[ProcessId]) -> None:
+        self._suspects = suspects
+
+    @property
+    def suspects(self) -> FrozenSet[ProcessId]:
+        return self._suspects
+
+    def suspects_process(self, pid: ProcessId) -> bool:
+        return pid in self._suspects
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SuspicionSample({sorted(self._suspects)})"
+
+
+class DiamondS:
+    """An eventually-accurate failure detector.
+
+    * before ``accurate_from_round``: the true faulty processes are suspected
+      *plus* pseudo-random false suspicions of correct processes with
+      probability ``false_suspicion_prob`` per (observer, suspect, round);
+    * from ``accurate_from_round`` on: exactly the faulty set is suspected —
+      both completeness and (more than) weak accuracy hold.
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        faulty: AbstractSet[ProcessId],
+        *,
+        accurate_from_round: Round = 1,
+        false_suspicion_prob: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= false_suspicion_prob <= 1.0:
+            raise ValueError("false_suspicion_prob must be in [0, 1]")
+        self._model = model
+        self._faulty = frozenset(faulty)
+        self._accurate_from = accurate_from_round
+        self._prob = false_suspicion_prob
+        self._seed = seed
+
+    @property
+    def faulty(self) -> FrozenSet[ProcessId]:
+        return self._faulty
+
+    @property
+    def accurate_from_round(self) -> Round:
+        return self._accurate_from
+
+    def sample(self, observer: ProcessId, round_number: Round) -> SuspicionSample:
+        """The suspicion set of ``observer`` in ``round_number``."""
+        suspects = set(self._faulty)
+        if round_number < self._accurate_from:
+            for pid in self._model.processes:
+                if pid == observer or pid in suspects:
+                    continue
+                rng = random.Random(
+                    f"{self._seed}:{observer}:{pid}:{round_number}"
+                )
+                if rng.random() < self._prob:
+                    suspects.add(pid)
+        return SuspicionSample(frozenset(suspects))
+
+    def eventually_trusted(self) -> FrozenSet[ProcessId]:
+        """Processes never suspected after stabilization (the correct set)."""
+        return frozenset(
+            pid for pid in self._model.processes if pid not in self._faulty
+        )
+
+
+def suspicion_driven_oracle(model: FaultModel, detector: DiamondS, rounds_per_phase: int = 3):
+    """A coordinator oracle that skips suspected processes (CT's actual use of ♦S).
+
+    In phase φ, process ``p`` trusts the first process of the rotation
+    ``(φ − 1), (φ − 1) + 1, …`` (mod n) that its detector sample does not
+    suspect at the phase's selection round.  Before the detector stabilizes,
+    different processes may trust different coordinators (phases fail, which
+    is safe); once ♦S is accurate, every correct process trusts the same
+    correct coordinator and Selector-liveness holds.
+
+    Use with :class:`~repro.core.selector.LeaderSelector`::
+
+        oracle = suspicion_driven_oracle(model, detector)
+        selector = LeaderSelector(model, oracle)
+    """
+
+    def oracle(process: ProcessId, phase: Round) -> ProcessId:
+        round_number = max(1, rounds_per_phase * phase - 2)
+        sample = detector.sample(process, round_number)
+        for offset in range(model.n):
+            candidate = (phase - 1 + offset) % model.n
+            if not sample.suspects_process(candidate):
+                return candidate
+        # Everyone suspected (a detector this noisy still must return
+        # something): fall back to the plain rotation.
+        return (phase - 1) % model.n
+
+    return oracle

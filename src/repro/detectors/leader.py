@@ -1,0 +1,100 @@
+"""Ω-style eventual leader election (the oracle behind Paxos's Selector).
+
+The Ω failure detector eventually outputs the same correct process at every
+correct process, but may disagree arbitrarily before stabilization.  In the
+round-model simulation we model it as a function of (process, phase):
+
+* :class:`OmegaOracle` — a perfectly stable leader from phase 1 (the
+  best case: a correct leader is already elected);
+* :class:`StabilizingLeaderOracle` — before a stabilization phase, each
+  process sees a (deterministic pseudo-random) possibly-different, possibly-
+  faulty leader; from the stabilization phase on, everyone sees the same
+  correct leader.  This reproduces the period in which Selector-liveness
+  (SL1) fails and phases are unsuccessful.
+
+Both satisfy the interface :class:`~repro.core.selector.LeaderSelector`
+expects: ``oracle(process, phase) → ProcessId``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.core.types import FaultModel, Phase, ProcessId
+
+
+class OmegaOracle:
+    """A leader oracle that is stable from the very first phase."""
+
+    def __init__(self, leader: ProcessId) -> None:
+        self._leader = leader
+
+    @property
+    def leader(self) -> ProcessId:
+        return self._leader
+
+    def __call__(self, process: ProcessId, phase: Phase) -> ProcessId:
+        return self._leader
+
+
+class StabilizingLeaderOracle:
+    """A leader oracle with a chaotic prefix.
+
+    Before ``stable_from_phase``, process ``p`` in phase ``φ`` sees a
+    pseudo-random leader drawn from ``chaos_pool`` (default: all of Π) —
+    different processes may well see different leaders, so SL1 fails.  From
+    ``stable_from_phase`` on, every process sees ``stable_leader``.
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        stable_leader: ProcessId,
+        stable_from_phase: Phase,
+        *,
+        chaos_pool: Optional[Sequence[ProcessId]] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= stable_leader < model.n:
+            raise ValueError(f"stable_leader {stable_leader} out of range")
+        if stable_from_phase < 1:
+            raise ValueError("stable_from_phase must be ≥ 1")
+        self._model = model
+        self._stable_leader = stable_leader
+        self._stable_from = stable_from_phase
+        self._pool = list(chaos_pool) if chaos_pool is not None else list(
+            model.processes
+        )
+        self._seed = seed
+
+    @property
+    def stable_leader(self) -> ProcessId:
+        return self._stable_leader
+
+    @property
+    def stable_from_phase(self) -> Phase:
+        return self._stable_from
+
+    def __call__(self, process: ProcessId, phase: Phase) -> ProcessId:
+        if phase >= self._stable_from:
+            return self._stable_leader
+        # str seeding is deterministic across interpreter runs (unlike
+        # hash()-based seeds under PYTHONHASHSEED randomization).
+        rng = random.Random(f"{self._seed}:{process}:{phase}")
+        return rng.choice(self._pool)
+
+
+def rotating_oracle(model: FaultModel):
+    """A rotating-coordinator oracle ``φ ↦ (φ − 1) mod n``.
+
+    Functionally the same pattern as
+    :class:`~repro.core.selector.RotatingCoordinatorSelector`; provided as an
+    oracle so Chandra-Toueg can also be expressed through
+    :class:`~repro.core.selector.LeaderSelector`.
+    """
+
+    def oracle(process: ProcessId, phase: Phase) -> ProcessId:
+        return (phase - 1) % model.n
+
+    return oracle

@@ -1,0 +1,28 @@
+"""Discrete-event timed execution (partial synchrony with a GST).
+
+The lockstep engine measures progress in *rounds*; this package measures it
+in *simulated time*.  Processes still run the round model, but rounds are
+paced by a round duration Δ and messages take sampled latencies; before the
+global stabilization time (GST) latencies are unbounded (the asynchronous
+period of [7]), after GST they are bounded by δ < Δ, so rounds become good.
+"""
+
+from repro.eventsim.events import EventQueue, TimedEvent
+from repro.eventsim.network import (
+    FixedLatency,
+    LatencyModel,
+    PartialSynchronyNetwork,
+    UniformLatency,
+)
+from repro.eventsim.runtime import TimedOutcome, run_timed_consensus
+
+__all__ = [
+    "EventQueue",
+    "FixedLatency",
+    "LatencyModel",
+    "PartialSynchronyNetwork",
+    "TimedEvent",
+    "TimedOutcome",
+    "UniformLatency",
+    "run_timed_consensus",
+]

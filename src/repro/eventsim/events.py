@@ -1,0 +1,46 @@
+"""A minimal discrete-event queue (heap-ordered, deterministic tie-break)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True, order=True)
+class TimedEvent:
+    """An event at simulated ``time``; ``seq`` makes ordering total."""
+
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Priority queue of :class:`TimedEvent` with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[TimedEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> TimedEvent:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = TimedEvent(time=time, seq=next(self._counter), payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> TimedEvent:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

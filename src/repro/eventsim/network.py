@@ -1,0 +1,92 @@
+"""Latency models and the partially synchronous timed network.
+
+Before GST, each message independently suffers either an unbounded extra
+delay (with probability ``pre_gst_delay_prob``) or the normal sampled
+latency; after GST every latency sample is clamped to the synchronous bound
+δ.  This is the classic Dwork-Lynch-Stockmeyer partial synchrony shape the
+paper's model (good/bad periods) abstracts.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from repro.core.types import ProcessId
+
+
+class LatencyModel(abc.ABC):
+    """Samples one-way message latencies."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, sender: ProcessId, dest: ProcessId) -> float:
+        """A latency in simulated time units (must be positive)."""
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant latency."""
+
+    latency: float = 1.0
+
+    def sample(self, rng: random.Random, sender: ProcessId, dest: ProcessId) -> float:
+        return self.latency
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform latency in ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ValueError(f"need 0 < low ≤ high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random, sender: ProcessId, dest: ProcessId) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class PartialSynchronyNetwork:
+    """Latency assignment under partial synchrony with a GST.
+
+    * ``t < gst``: with probability ``pre_gst_delay_prob`` the message is
+      delayed by ``chaos_factor ×`` the sampled latency (typically pushing it
+      past its round deadline — the round-model equivalent of a loss);
+    * ``t ≥ gst``: the sampled latency is clamped to ``delta`` (the
+      synchronous bound).
+    """
+
+    def __init__(
+        self,
+        latency_model: LatencyModel,
+        *,
+        gst: float = 0.0,
+        delta: float = 2.0,
+        pre_gst_delay_prob: float = 0.5,
+        chaos_factor: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if not 0.0 <= pre_gst_delay_prob <= 1.0:
+            raise ValueError("pre_gst_delay_prob must be in [0, 1]")
+        self._latency = latency_model
+        self.gst = gst
+        self.delta = delta
+        self._delay_prob = pre_gst_delay_prob
+        self._chaos = chaos_factor
+        self._rng = random.Random(seed)
+
+    def transit_time(
+        self, send_time: float, sender: ProcessId, dest: ProcessId
+    ) -> float:
+        """The latency this particular message experiences."""
+        base = self._latency.sample(self._rng, sender, dest)
+        if send_time >= self.gst:
+            return min(base, self.delta)
+        if self._rng.random() < self._delay_prob:
+            return base * self._chaos
+        return base

@@ -1,0 +1,26 @@
+"""Fault injection: crash schedules and Byzantine strategies."""
+
+from repro.faults.byzantine import (
+    AdaptiveLiar,
+    ByzantineStrategy,
+    Equivocator,
+    FakeHistoryLiar,
+    HighTimestampLiar,
+    RandomNoise,
+    SilentByzantine,
+    VoteFlipper,
+)
+from repro.faults.crash import CrashEvent, CrashSchedule
+
+__all__ = [
+    "AdaptiveLiar",
+    "ByzantineStrategy",
+    "CrashEvent",
+    "CrashSchedule",
+    "Equivocator",
+    "FakeHistoryLiar",
+    "HighTimestampLiar",
+    "RandomNoise",
+    "SilentByzantine",
+    "VoteFlipper",
+]

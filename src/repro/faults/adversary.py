@@ -1,0 +1,155 @@
+"""Adversary scenario bundles: strategy placement + network control.
+
+A :class:`AdversaryScenario` packages everything an adversarial execution
+needs — which processes are Byzantine and with which strategy, how delivery
+behaves, and which crash schedule applies — behind named presets used by
+the sweeps, benches and examples:
+
+=====================  =========================================================
+preset                 description
+=====================  =========================================================
+``worst_case``         max-b Byzantine (strongest strategy per slot), permanent
+                       synchrony — attacks must be beaten in one phase
+``partition_heal``     network split during a bad prefix, then a good period
+``async_then_sync``    random loss until a configurable GST round
+``silent_minority``    max-b silent Byzantine (pure withholding)
+``crash_storm``        benign: all f crashes land in the first round
+=====================  =========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.core.parameters import ConsensusParameters
+from repro.core.run import ByzantineSpec, ConsensusOutcome, run_consensus
+from repro.core.types import FaultModel, ProcessId, Value
+from repro.faults.crash import CrashSchedule
+from repro.rounds.policies import (
+    DeliveryPolicy,
+    GoodBadPolicy,
+    ReliablePolicy,
+    partition_behavior,
+)
+from repro.rounds.schedule import GoodBadSchedule
+
+
+@dataclass
+class AdversaryScenario:
+    """A named, reproducible adversarial setting."""
+
+    name: str
+    byzantine: Dict[ProcessId, ByzantineSpec] = field(default_factory=dict)
+    policy: Optional[DeliveryPolicy] = None
+    crash_schedule: Optional[CrashSchedule] = None
+    max_phases: int = 15
+
+    def run(
+        self,
+        parameters: ConsensusParameters,
+        initial_values: Mapping[ProcessId, Value],
+        **kwargs,
+    ) -> ConsensusOutcome:
+        """Execute one consensus instance under this scenario."""
+        kwargs.setdefault("byzantine", self.byzantine)
+        kwargs.setdefault("policy", self.policy)
+        kwargs.setdefault("crash_schedule", self.crash_schedule)
+        kwargs.setdefault("max_phases", self.max_phases)
+        return run_consensus(parameters, initial_values, **kwargs)
+
+    def honest_values(self, model: FaultModel, split: bool = True) -> Dict:
+        """Standard proposals for the scenario's honest processes."""
+        return {
+            pid: (f"v{pid % 2}" if split else "v")
+            for pid in model.processes
+            if pid not in self.byzantine
+        }
+
+
+def worst_case(model: FaultModel) -> AdversaryScenario:
+    """Max-b Byzantine with the strongest strategy mix, full synchrony."""
+    strategies = ["equivocator", "high-ts-liar", "fake-history-liar", "adaptive-liar"]
+    byzantine = {
+        model.n - 1 - i: strategies[i % len(strategies)] for i in range(model.b)
+    }
+    return AdversaryScenario(
+        name="worst_case", byzantine=byzantine, policy=ReliablePolicy()
+    )
+
+
+def partition_heal(
+    model: FaultModel, heal_round: int = 7, seed: int = 0
+) -> AdversaryScenario:
+    """A network partition until ``heal_round``, then a good period."""
+    half = model.n // 2
+    groups = [range(half), range(half, model.n)]
+    policy = GoodBadPolicy(
+        GoodBadSchedule.good_after(heal_round),
+        bad_behavior=partition_behavior(groups),
+        rng=random.Random(seed),
+    )
+    byzantine = (
+        {model.n - 1: "equivocator"} if model.b > 0 else {}
+    )
+    return AdversaryScenario(
+        name="partition_heal",
+        byzantine=byzantine,
+        policy=policy,
+        max_phases=heal_round + 8,
+    )
+
+
+def async_then_sync(
+    model: FaultModel, gst_round: int = 10, seed: int = 0
+) -> AdversaryScenario:
+    """Random loss before a GST-style round, good afterwards."""
+    policy = GoodBadPolicy(
+        GoodBadSchedule.good_after(gst_round), rng=random.Random(seed)
+    )
+    byzantine = {model.n - 1: "adaptive-liar"} if model.b > 0 else {}
+    return AdversaryScenario(
+        name="async_then_sync",
+        byzantine=byzantine,
+        policy=policy,
+        max_phases=gst_round + 8,
+    )
+
+
+def silent_minority(model: FaultModel) -> AdversaryScenario:
+    """All b Byzantine processes withhold everything."""
+    byzantine = {model.n - 1 - i: "silent" for i in range(model.b)}
+    return AdversaryScenario(
+        name="silent_minority", byzantine=byzantine, policy=ReliablePolicy()
+    )
+
+
+def crash_storm(model: FaultModel) -> AdversaryScenario:
+    """Benign: all f crashes in round 1, messages lost."""
+    return AdversaryScenario(
+        name="crash_storm",
+        crash_schedule=CrashSchedule.crash_first_f(model, 1, clean=False),
+        policy=ReliablePolicy(),
+    )
+
+
+#: All presets, keyed by name.
+SCENARIO_PRESETS: Dict[str, Callable[[FaultModel], AdversaryScenario]] = {
+    "worst_case": worst_case,
+    "partition_heal": partition_heal,
+    "async_then_sync": async_then_sync,
+    "silent_minority": silent_minority,
+    "crash_storm": crash_storm,
+}
+
+
+def build_scenario(name: str, model: FaultModel, **kwargs) -> AdversaryScenario:
+    """Construct a preset scenario by name."""
+    try:
+        factory = SCENARIO_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIO_PRESETS)}"
+        ) from None
+    return factory(model, **kwargs)

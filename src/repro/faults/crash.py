@@ -1,0 +1,106 @@
+"""Crash-fault injection (the ≤ f faulty honest processes of the model).
+
+A crash in the round model happens *during* a round: the process may send to
+a (possibly empty) subset of its destinations and then stops forever.  A
+:class:`CrashSchedule` describes when each doomed process crashes and which
+prefix of its outbound messages survives; the engine applies it when
+collecting the outbound matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Mapping, Optional
+
+from repro.core.types import FaultModel, ProcessId, Round
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Process ``process`` crashes in round ``round``.
+
+    During the crash round only destinations in ``deliver_to`` still receive
+    its messages (``None`` means all destinations: the crash takes effect
+    just after the send step).  From the next round on, the process is
+    silent and no longer takes transition steps.
+    """
+
+    process: ProcessId
+    round: Round
+    deliver_to: Optional[FrozenSet[ProcessId]] = None
+
+    def surviving(self, destinations: Iterable[ProcessId]) -> FrozenSet[ProcessId]:
+        """Destinations that still receive the crash-round messages."""
+        dests = frozenset(destinations)
+        if self.deliver_to is None:
+            return dests
+        return dests & self.deliver_to
+
+
+class CrashSchedule:
+    """A set of planned crash events, at most ``f`` of them."""
+
+    def __init__(self, model: FaultModel, events: Iterable[CrashEvent] = ()) -> None:
+        self._model = model
+        self._events: Dict[ProcessId, CrashEvent] = {}
+        for event in events:
+            self.add(event)
+
+    @classmethod
+    def none(cls, model: FaultModel) -> "CrashSchedule":
+        """No crashes."""
+        return cls(model)
+
+    @classmethod
+    def crash_first_f(
+        cls, model: FaultModel, round_number: Round = 1, *, clean: bool = True
+    ) -> "CrashSchedule":
+        """Crash processes ``0..f-1`` in ``round_number``.
+
+        ``clean=True`` lets the crash-round messages through (crash after
+        send); ``clean=False`` drops them all (crash before send).
+        """
+        deliver: Optional[FrozenSet[ProcessId]] = None if clean else frozenset()
+        events = [
+            CrashEvent(pid, round_number, deliver) for pid in range(model.f)
+        ]
+        return cls(model, events)
+
+    def add(self, event: CrashEvent) -> None:
+        if event.process in self._events:
+            raise ValueError(f"process {event.process} already has a crash event")
+        if not 0 <= event.process < self._model.n:
+            raise ValueError(f"process id {event.process} out of range")
+        if event.round < 1:
+            raise ValueError(f"crash round must be ≥ 1, got {event.round}")
+        if len(self._events) >= self._model.f:
+            raise ValueError(f"cannot plan more than f={self._model.f} crashes")
+        self._events[event.process] = event
+
+    @property
+    def doomed(self) -> FrozenSet[ProcessId]:
+        """Processes that will eventually crash (not *correct* in the model)."""
+        return frozenset(self._events)
+
+    def event_for(self, pid: ProcessId) -> Optional[CrashEvent]:
+        return self._events.get(pid)
+
+    def is_down(self, pid: ProcessId, round_number: Round) -> bool:
+        """True once ``pid`` has fully crashed before ``round_number``."""
+        event = self._events.get(pid)
+        return event is not None and round_number > event.round
+
+    def filter_outbound(
+        self,
+        pid: ProcessId,
+        round_number: Round,
+        outbound: Mapping[ProcessId, object],
+    ) -> Dict[ProcessId, object]:
+        """Apply the crash semantics to one process's outbound messages."""
+        event = self._events.get(pid)
+        if event is None or round_number < event.round:
+            return dict(outbound)
+        if round_number > event.round:
+            return {}
+        surviving = event.surviving(outbound.keys())
+        return {dest: payload for dest, payload in outbound.items() if dest in surviving}

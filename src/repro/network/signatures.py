@@ -1,0 +1,84 @@
+"""Simulated unforgeable signatures (authenticated Byzantine fault model).
+
+Section 2.2: in the authenticated model, messages can be signed and
+"signatures cannot be forged by any other process".  We simulate this with a
+keyed MAC: each process holds a secret key known only to itself and the
+verification service (simulating a PKI).  Byzantine processes hold their own
+keys — they can sign anything *as themselves* — but signing as an honest
+process requires that process's key, which the adversary never receives.
+
+The payload digest uses ``repr``-based hashing; payloads must therefore have
+a deterministic ``repr`` (true for the frozen message dataclasses used
+throughout).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.types import FaultModel, ProcessId
+
+
+class SignatureError(Exception):
+    """Raised on signing attempts with a wrong key."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A (simulated) signature of ``payload`` by ``signer``."""
+
+    signer: ProcessId
+    tag: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signature(signer={self.signer}, tag={self.tag.hex()[:12]}…)"
+
+
+def _digest(payload: object) -> bytes:
+    return hashlib.sha256(repr(payload).encode("utf-8")).digest()
+
+
+class SignatureService:
+    """Key distribution plus sign/verify for a fixed process set.
+
+    ``issue_key(pid)`` hands out each key exactly once (the simulation's
+    stand-in for secure key provisioning); signing requires presenting the
+    key, so code paths holding only *their own* key cannot forge others'
+    signatures.
+    """
+
+    def __init__(self, model: FaultModel, seed: int = 0) -> None:
+        self._model = model
+        self._keys: Dict[ProcessId, bytes] = {
+            pid: hashlib.sha256(f"key:{seed}:{pid}".encode()).digest()
+            for pid in model.processes
+        }
+        self._issued: set[ProcessId] = set()
+
+    def issue_key(self, pid: ProcessId) -> bytes:
+        """Hand ``pid`` its secret key (at most once)."""
+        if pid in self._issued:
+            raise SignatureError(f"key for process {pid} already issued")
+        self._issued.add(pid)
+        return self._keys[pid]
+
+    def sign(self, signer: ProcessId, key: bytes, payload: object) -> Signature:
+        """Sign ``payload`` as ``signer``; the presented key must match."""
+        if not hmac.compare_digest(key, self._keys[signer]):
+            raise SignatureError(f"wrong key presented for process {signer}")
+        tag = hmac.new(key, _digest(payload), hashlib.sha256).digest()
+        return Signature(signer=signer, tag=tag)
+
+    def verify(self, payload: object, signature: Signature) -> bool:
+        """Anyone can verify (public operation)."""
+        if not isinstance(signature, Signature):
+            return False
+        if signature.signer not in self._keys:
+            return False
+        expected = hmac.new(
+            self._keys[signature.signer], _digest(payload), hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, signature.tag)

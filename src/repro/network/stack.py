@@ -1,0 +1,191 @@
+"""Running the generic algorithm with *implemented* ``Pcons`` (Section 2.2).
+
+:func:`run_with_pcons_stack` executes Algorithm 1 where each selection round
+is realized by a :class:`~repro.network.wic.PconsImplementation` sub-protocol
+instead of an oracle policy: the authenticated variant costs 2 extra rounds
+per phase, the signature-free one 3 — exactly the tradeoff the paper quotes
+from [17].
+
+The global micro-round clock is what the good/bad schedule applies to, so a
+phase succeeds only when its whole expanded footprint falls in a good period
+and its rotating coordinator is correct.  Validation and decision rounds go
+through plain ``Pgood`` delivery (they never needed ``Pcons``).
+
+Limitations (documented in DESIGN.md): the stack requires the Π selector
+(true for every Byzantine algorithm in the paper) and supports Byzantine but
+not crash faults (the paper's ``Pcons`` constructions target the Byzantine
+models; benign algorithms get ``Pcons`` for free from synchrony when no
+crash occurs in good periods).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
+from repro.core.process import GenericConsensusProcess, RoundStructure
+from repro.core.run import ByzantineSpec, _build_byzantine
+from repro.core.types import Decision, ProcessId, RoundInfo, RoundKind, Value
+from repro.network.wic import MicroOutbound, PconsImplementation
+from repro.rounds.base import DeliveryMatrix, RoundProcess, RunContext
+from repro.rounds.policies import deliver_to_byzantine, faithful_delivery
+from repro.rounds.schedule import GoodBadSchedule
+
+
+@dataclass
+class PconsStackOutcome:
+    """Result of a stack run."""
+
+    parameters: ConsensusParameters
+    decisions: Dict[ProcessId, Decision]
+    #: (phase, did all correct processes obtain identical selection vectors).
+    pcons_observations: List[Tuple[int, bool]]
+    micro_rounds_used: int
+    logical_rounds_used: int
+    messages_sent: int
+    context: RunContext
+
+    @property
+    def agreement_holds(self) -> bool:
+        return len({decision.value for decision in self.decisions.values()}) <= 1
+
+    @property
+    def all_correct_decided(self) -> bool:
+        return set(self.context.correct) <= set(self.decisions)
+
+    def pcons_held_in_phase(self, phase: int) -> Optional[bool]:
+        for observed_phase, held in self.pcons_observations:
+            if observed_phase == phase:
+                return held
+        return None
+
+
+def run_with_pcons_stack(
+    parameters: ConsensusParameters,
+    initial_values: Mapping[ProcessId, Value],
+    wic: PconsImplementation,
+    *,
+    config: Optional[GenericConsensusConfig] = None,
+    byzantine: Optional[Mapping[ProcessId, ByzantineSpec]] = None,
+    schedule: Optional[GoodBadSchedule] = None,
+    bad_drop_prob: float = 0.7,
+    seed: int = 0,
+    max_phases: int = 20,
+) -> PconsStackOutcome:
+    """Run one consensus instance with an implemented ``Pcons``.
+
+    ``schedule`` applies to the expanded micro-round clock; default is a
+    permanently good period.  During bad micro-rounds each message is
+    dropped i.i.d. with probability ``bad_drop_prob``.
+    """
+    model = parameters.model
+    if not parameters.selector.is_static or parameters.selector.select(
+        0, 1
+    ) != frozenset(model.processes):
+        raise ValueError("the Pcons stack requires the Π (all-processes) selector")
+    if model.f != 0:
+        raise ValueError("the Pcons stack supports Byzantine faults only (f = 0)")
+
+    config = config or GenericConsensusConfig()
+    byzantine = dict(byzantine or {})
+    schedule = schedule or GoodBadSchedule.always_good()
+    rng = random.Random(seed)
+    structure = RoundStructure(
+        parameters.flag, skip_first_selection=config.skip_first_selection
+    )
+    ctx = RunContext(model, byzantine=frozenset(byzantine))
+
+    processes: Dict[ProcessId, RoundProcess] = {}
+    for pid in model.processes:
+        if pid in byzantine:
+            processes[pid] = _build_byzantine(pid, byzantine[pid], parameters)
+        else:
+            if pid not in initial_values:
+                raise ValueError(f"missing initial value for honest process {pid}")
+            processes[pid] = GenericConsensusProcess(
+                pid, initial_values[pid], parameters, config
+            )
+
+    clock = 0  # global micro-round counter
+    messages_sent = 0
+    decisions: Dict[ProcessId, Decision] = {}
+    pcons_observations: List[Tuple[int, bool]] = []
+
+    def micro_deliver(outbound: MicroOutbound) -> DeliveryMatrix:
+        nonlocal clock, messages_sent
+        clock += 1
+        messages_sent += sum(len(messages) for messages in outbound.values())
+        if schedule.is_good(clock):
+            matrix = faithful_delivery(outbound)
+            deliver_to_byzantine(matrix, outbound, ctx)
+            return matrix
+        matrix = {}
+        for sender, messages in outbound.items():
+            for dest, payload in messages.items():
+                if dest in ctx.byzantine or rng.random() >= bad_drop_prob:
+                    matrix.setdefault(dest, {})[sender] = payload
+        return matrix
+
+    logical_round = 0
+    total_logical = structure.rounds_for_phases(max_phases)
+    while logical_round < total_logical:
+        logical_round += 1
+        info = structure.info(logical_round)
+
+        if info.kind is RoundKind.SELECTION:
+            # Collect each process's selection payload (one per sender; an
+            # equivocating sender contributes what it would have told the
+            # coordinator).
+            coordinator = wic.coordinator(info.phase)
+            inputs: Dict[ProcessId, object] = {}
+            for pid, process in processes.items():
+                raw = process.send(info)
+                if not raw:
+                    continue
+                payload = raw.get(coordinator)
+                if payload is None:
+                    payload = raw[min(raw)]
+                inputs[pid] = payload
+            vectors = wic.execute(info.phase, inputs, micro_deliver, ctx)
+            correct_vectors = [
+                tuple(sorted(vectors.get(pid, {}).items()))
+                for pid in sorted(ctx.correct)
+            ]
+            identical = all(v == correct_vectors[0] for v in correct_vectors)
+            pcons_observations.append((info.phase, identical))
+            for pid, process in processes.items():
+                process.receive(info, vectors.get(pid, {}))
+        else:
+            outbound: MicroOutbound = {
+                pid: dict(process.send(info)) for pid, process in processes.items()
+            }
+            matrix = micro_deliver(outbound)
+            for pid, process in processes.items():
+                process.receive(info, matrix.get(pid, {}))
+
+        for pid, process in processes.items():
+            if (
+                pid not in decisions
+                and isinstance(process, GenericConsensusProcess)
+                and process.has_decided
+            ):
+                decisions[pid] = Decision(
+                    process=pid,
+                    value=process.decided,
+                    round=logical_round,
+                    phase=info.phase,
+                )
+        if set(ctx.correct) <= set(decisions):
+            break
+
+    return PconsStackOutcome(
+        parameters=parameters,
+        decisions=decisions,
+        pcons_observations=pcons_observations,
+        micro_rounds_used=clock,
+        logical_rounds_used=logical_round,
+        messages_sent=messages_sent,
+        context=ctx,
+    )

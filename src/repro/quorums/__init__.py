@@ -1,0 +1,19 @@
+"""Byzantine quorum systems (Malkhi-Reiter [15]; paper footnote 10)."""
+
+from repro.quorums.systems import (
+    DisseminationQuorumSystem,
+    MajorityQuorumSystem,
+    MaskingQuorumSystem,
+    OpaqueQuorumSystem,
+    QuorumSystem,
+    quorum_system_for_class,
+)
+
+__all__ = [
+    "DisseminationQuorumSystem",
+    "MajorityQuorumSystem",
+    "MaskingQuorumSystem",
+    "OpaqueQuorumSystem",
+    "QuorumSystem",
+    "quorum_system_for_class",
+]

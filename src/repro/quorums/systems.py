@@ -1,0 +1,147 @@
+"""Threshold Byzantine quorum systems and their intersection properties.
+
+Footnote 10 of the paper maps the three classes onto Malkhi-Reiter [15]
+quorum families:
+
+* class 1 (FaB Paxos, OneThirdRule) uses **opaque** quorums,
+* class 2 (MQB) uses **masking** quorums,
+* class 3 (PBFT) uses **dissemination** quorums.
+
+For the threshold fail-prone system ``B = {S ⊆ Π : |S| ≤ b}`` the defining
+properties reduce to intersection-size arithmetic.  With quorum size ``q``
+over ``n`` processes (so two quorums intersect in at least ``2q − n``):
+
+* **dissemination**: every pairwise intersection contains a non-faulty
+  process — ``2q − n ≥ b + 1``; availability ``q ≤ n − b`` forces
+  ``n ≥ 3b + 1``;
+* **masking**: intersections contain more non-faulty than faulty members —
+  ``2q − n ≥ 2b + 1``; availability forces ``n ≥ 4b + 1``;
+* **opaque**: the correct part of an intersection strictly outnumbers the
+  faulty members *plus* the out-of-quorum members that might outvote it —
+  ``2q − n − b > n − q + b`` i.e. ``3q > 2n + 2b``; availability forces
+  ``n > 5b``.
+
+The decision thresholds of the three classes (``TD``) are exactly the
+minimal quorum sizes of the corresponding family — verified in
+``tests/quorums`` and ``benchmarks/bench_quorums.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import FrozenSet, Iterator, Set
+
+from repro.core.classification import AlgorithmClass
+from repro.core.types import FaultModel, ProcessId
+
+
+class QuorumSystem(abc.ABC):
+    """A threshold quorum system over the processes of a fault model."""
+
+    name: str = "quorum-system"
+
+    def __init__(self, model: FaultModel) -> None:
+        self._model = model
+        if self.min_quorum_size() > model.n:
+            raise ValueError(
+                f"{type(self).__name__} needs quorums of "
+                f"{self.min_quorum_size()} > n = {model.n} processes"
+            )
+
+    @property
+    def model(self) -> FaultModel:
+        return self._model
+
+    @abc.abstractmethod
+    def min_quorum_size(self) -> int:
+        """Smallest admissible quorum cardinality."""
+
+    def is_quorum(self, members: Set[ProcessId]) -> bool:
+        """Threshold systems: any large-enough subset of Π is a quorum."""
+        return (
+            len(members) >= self.min_quorum_size()
+            and all(0 <= pid < self._model.n for pid in members)
+        )
+
+    def minimal_quorums(self) -> Iterator[FrozenSet[ProcessId]]:
+        """Enumerate all minimal quorums (use for small ``n`` only)."""
+        size = self.min_quorum_size()
+        for combo in itertools.combinations(self._model.processes, size):
+            yield frozenset(combo)
+
+    # Verifiable properties -------------------------------------------------
+
+    def is_available(self) -> bool:
+        """Some quorum exists within the processes that may all be correct."""
+        return self.min_quorum_size() <= self._model.n - self._model.b - self._model.f
+
+    def worst_intersection(self) -> int:
+        """Minimal size of a pairwise quorum intersection."""
+        return max(0, 2 * self.min_quorum_size() - self._model.n)
+
+    def intersection_contains_correct(self) -> bool:
+        """Dissemination property over the threshold fail-prone system."""
+        return self.worst_intersection() >= self._model.b + 1
+
+    def intersection_masks_faults(self) -> bool:
+        """Masking property: correct members outnumber faulty ones."""
+        return self.worst_intersection() >= 2 * self._model.b + 1
+
+    def intersection_is_opaque(self) -> bool:
+        """Opaque property: correct intersection *strictly* beats the faulty
+        members plus the out-of-quorum members that could outvote it."""
+        q = self.min_quorum_size()
+        n, b = self._model.n, self._model.b
+        return (2 * q - n - b) > (n - q + b)
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """Crash-fault majorities (the ``b = 0`` degenerate case)."""
+
+    name = "majority"
+
+    def min_quorum_size(self) -> int:
+        return self._model.n // 2 + 1
+
+
+class DisseminationQuorumSystem(QuorumSystem):
+    """Malkhi-Reiter dissemination quorums — class 3 / PBFT."""
+
+    name = "dissemination"
+
+    def min_quorum_size(self) -> int:
+        return (self._model.n + self._model.b) // 2 + 1
+
+
+class MaskingQuorumSystem(QuorumSystem):
+    """Malkhi-Reiter masking quorums — class 2 / MQB."""
+
+    name = "masking"
+
+    def min_quorum_size(self) -> int:
+        return (self._model.n + 2 * self._model.b) // 2 + 1
+
+
+class OpaqueQuorumSystem(QuorumSystem):
+    """Malkhi-Reiter opaque quorums — class 1 / FaB Paxos."""
+
+    name = "opaque"
+
+    def min_quorum_size(self) -> int:
+        # Smallest q with 3q > 2(n + b): q = ⌊2(n + b)/3⌋ + 1.  At every
+        # admissible (n, b) this equals FaB Paxos's TD = ⌈(n + 3b + 1)/2⌉
+        # restricted to minimal n — see tests/quorums.
+        return (2 * (self._model.n + self._model.b)) // 3 + 1
+
+
+def quorum_system_for_class(
+    algorithm_class: AlgorithmClass, model: FaultModel
+) -> QuorumSystem:
+    """The quorum family footnote 10 associates with each class."""
+    factory = {
+        AlgorithmClass.CLASS_1: OpaqueQuorumSystem,
+        AlgorithmClass.CLASS_2: MaskingQuorumSystem,
+        AlgorithmClass.CLASS_3: DisseminationQuorumSystem,
+    }[algorithm_class]
+    return factory(model)

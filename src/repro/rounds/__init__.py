@@ -1,0 +1,38 @@
+"""Communication-closed round model substrate (paper Section 2.1).
+
+This package provides the execution machinery the paper's algorithms are
+expressed in: processes exposing per-round send/transition functions, a
+lockstep engine, delivery policies realizing the communication predicates
+``Pgood`` / ``Pcons`` / ``Prel``, and good/bad period schedules modelling
+partial synchrony.
+"""
+
+from repro.rounds.base import RoundProcess, RunContext
+from repro.rounds.engine import EngineResult, SyncEngine
+from repro.rounds.policies import (
+    AsyncPrelPolicy,
+    DeliveryPolicy,
+    GoodBadPolicy,
+    LossyPolicy,
+    ReliablePolicy,
+    SilentPolicy,
+)
+from repro.rounds.predicates import check_pcons, check_pgood, check_prel
+from repro.rounds.schedule import GoodBadSchedule
+
+__all__ = [
+    "AsyncPrelPolicy",
+    "DeliveryPolicy",
+    "EngineResult",
+    "GoodBadPolicy",
+    "GoodBadSchedule",
+    "LossyPolicy",
+    "ReliablePolicy",
+    "RoundProcess",
+    "RunContext",
+    "SilentPolicy",
+    "SyncEngine",
+    "check_pcons",
+    "check_pgood",
+    "check_prel",
+]

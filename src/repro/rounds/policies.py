@@ -1,0 +1,266 @@
+"""Delivery policies: who receives what in each round.
+
+A :class:`DeliveryPolicy` turns the outbound matrix of a round (what every
+process put on the wire) into a delivery matrix (what every process
+receives), subject to the communication predicate the policy realizes:
+
+* :class:`ReliablePolicy` — permanently good periods: ``Pgood`` in every
+  round and ``Pcons`` in the round kinds that need it (selection rounds);
+* :class:`GoodBadPolicy` — a partially synchronous system driven by a
+  :class:`~repro.rounds.schedule.GoodBadSchedule`; bad-period delivery is
+  delegated to a pluggable behaviour (random loss, partition, silence, …);
+* :class:`AsyncPrelPolicy` — the randomized-algorithm adversary: fully
+  asynchronous but every correct process receives at least ``n − b − f``
+  messages per round (``Prel``), the adversary picking which;
+* :class:`LossyPolicy` — i.i.d. message loss with no guarantee (for
+  robustness tests: safety must still hold);
+* :class:`SilentPolicy` — delivers nothing (extreme bad period).
+
+Two invariants hold in *every* policy, reflecting Section 2.1:
+
+1. No impersonation: a delivered payload is always one the recorded sender
+   actually produced this round.
+2. Byzantine receivers get everything addressed to them faithfully (the
+   adversary has maximal information).
+
+``Pcons`` enforcement collapses equivocation: for each sender a canonical
+payload is chosen (the one addressed to the lowest-id correct receiver) and
+delivered identically to every correct process addressed by correct senders
+this round.  This models what the echo-based implementations of [17]/[2]
+achieve; the implementations themselves live in ``repro.network.wic``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import AbstractSet, Callable, Dict, Iterable, Optional, Set
+
+from repro.core.types import ProcessId, RoundInfo, RoundKind
+from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
+from repro.rounds.schedule import GoodBadSchedule
+
+#: Default round kinds in which Pcons is enforced during good periods.
+DEFAULT_PCONS_KINDS = frozenset({RoundKind.SELECTION})
+
+
+def faithful_delivery(outbound: OutboundMatrix) -> DeliveryMatrix:
+    """Deliver every message exactly as addressed."""
+    matrix: DeliveryMatrix = {}
+    for sender, messages in outbound.items():
+        for dest, payload in messages.items():
+            matrix.setdefault(dest, {})[sender] = payload
+    return matrix
+
+
+def deliver_to_byzantine(
+    matrix: DeliveryMatrix, outbound: OutboundMatrix, ctx: RunContext
+) -> None:
+    """Ensure Byzantine receivers see everything addressed to them."""
+    for sender, messages in outbound.items():
+        for dest, payload in messages.items():
+            if dest in ctx.byzantine:
+                matrix.setdefault(dest, {})[sender] = payload
+
+
+def enforce_pcons(outbound: OutboundMatrix, ctx: RunContext) -> DeliveryMatrix:
+    """Build a delivery matrix in which ``Pcons`` holds.
+
+    Correct receivers addressed by at least one correct sender all receive
+    the same vector; each sender contributes a single canonical payload
+    (equivocation by Byzantine senders is collapsed).  Byzantine receivers
+    still see the raw traffic addressed to them.
+    """
+    correct = ctx.correct
+    audience: Set[ProcessId] = set()
+    for sender in correct:
+        for dest in outbound.get(sender, {}):
+            if dest in correct:
+                audience.add(dest)
+
+    matrix: DeliveryMatrix = {}
+    for sender, messages in outbound.items():
+        if not messages:
+            continue
+        reaches_audience = any(dest in audience for dest in messages)
+        if audience and reaches_audience:
+            canonical_dest = min(
+                (dest for dest in messages if dest in audience), default=None
+            )
+            if canonical_dest is None:  # pragma: no cover - guarded above
+                continue
+            canonical = messages[canonical_dest]
+            for receiver in audience:
+                matrix.setdefault(receiver, {})[sender] = canonical
+    deliver_to_byzantine(matrix, outbound, ctx)
+    return matrix
+
+
+def enforce_pgood(outbound: OutboundMatrix, ctx: RunContext) -> DeliveryMatrix:
+    """Faithful delivery — trivially satisfies ``Pgood``."""
+    matrix = faithful_delivery(outbound)
+    deliver_to_byzantine(matrix, outbound, ctx)
+    return matrix
+
+
+class DeliveryPolicy(abc.ABC):
+    """Strategy deciding the delivery matrix of each round."""
+
+    @abc.abstractmethod
+    def deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        """Compute what every process receives in round ``info``."""
+
+
+class ReliablePolicy(DeliveryPolicy):
+    """Permanently synchronous: ``Pgood`` always, ``Pcons`` where needed."""
+
+    def __init__(
+        self, pcons_kinds: AbstractSet[RoundKind] = DEFAULT_PCONS_KINDS
+    ) -> None:
+        self._pcons_kinds = frozenset(pcons_kinds)
+
+    def deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        if info.kind in self._pcons_kinds:
+            return enforce_pcons(outbound, ctx)
+        return enforce_pgood(outbound, ctx)
+
+
+#: Bad-period behaviour: (info, outbound, ctx) → delivery matrix.
+BadBehavior = Callable[[RoundInfo, OutboundMatrix, RunContext], DeliveryMatrix]
+
+
+def random_drop_behavior(rng: random.Random, drop_prob: float = 0.5) -> BadBehavior:
+    """Each message is independently dropped with probability ``drop_prob``."""
+
+    def behave(
+        info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        matrix: DeliveryMatrix = {}
+        for sender, messages in outbound.items():
+            for dest, payload in messages.items():
+                if dest in ctx.byzantine or rng.random() >= drop_prob:
+                    matrix.setdefault(dest, {})[sender] = payload
+        return matrix
+
+    return behave
+
+
+def partition_behavior(groups: Iterable[Iterable[ProcessId]]) -> BadBehavior:
+    """Messages only cross within the given groups (a network partition)."""
+    frozen = [frozenset(group) for group in groups]
+
+    def behave(
+        info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        matrix: DeliveryMatrix = {}
+        for sender, messages in outbound.items():
+            for dest, payload in messages.items():
+                same_side = any(
+                    sender in group and dest in group for group in frozen
+                )
+                if same_side or dest in ctx.byzantine:
+                    matrix.setdefault(dest, {})[sender] = payload
+        return matrix
+
+    return behave
+
+
+def silent_behavior() -> BadBehavior:
+    """Nothing is delivered to honest processes during the bad period."""
+
+    def behave(
+        info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        matrix: DeliveryMatrix = {}
+        deliver_to_byzantine(matrix, outbound, ctx)
+        return matrix
+
+    return behave
+
+
+class GoodBadPolicy(DeliveryPolicy):
+    """Partial synchrony: a schedule chooses good rounds, a behaviour bad ones."""
+
+    def __init__(
+        self,
+        schedule: GoodBadSchedule,
+        bad_behavior: Optional[BadBehavior] = None,
+        pcons_kinds: AbstractSet[RoundKind] = DEFAULT_PCONS_KINDS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._schedule = schedule
+        self._bad = bad_behavior or random_drop_behavior(rng or random.Random(0))
+        self._pcons_kinds = frozenset(pcons_kinds)
+
+    @property
+    def schedule(self) -> GoodBadSchedule:
+        return self._schedule
+
+    def deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        if self._schedule.is_good(info.number):
+            if info.kind in self._pcons_kinds:
+                return enforce_pcons(outbound, ctx)
+            return enforce_pgood(outbound, ctx)
+        return self._bad(info, outbound, ctx)
+
+
+class AsyncPrelPolicy(DeliveryPolicy):
+    """Fully asynchronous delivery guaranteeing only ``Prel`` (Section 6).
+
+    Every correct process receives at least ``n − b − f`` of the messages
+    addressed to it each round; the adversary (here: a seeded RNG) chooses
+    which subset, independently per receiver — so different correct processes
+    may see disjoint subsets, the scenario randomized algorithms must beat.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        model = ctx.model
+        minimum = model.n - model.b - model.f
+        inboxes = faithful_delivery(outbound)
+        matrix: DeliveryMatrix = {}
+        for receiver, inbox in inboxes.items():
+            if receiver in ctx.byzantine:
+                matrix[receiver] = dict(inbox)
+                continue
+            senders = sorted(inbox)
+            keep = max(minimum, 0)
+            if len(senders) <= keep:
+                matrix[receiver] = dict(inbox)
+            else:
+                chosen = self._rng.sample(senders, keep)
+                matrix[receiver] = {s: inbox[s] for s in chosen}
+        return matrix
+
+
+class LossyPolicy(DeliveryPolicy):
+    """Unconstrained i.i.d. loss — no predicate holds; safety must survive."""
+
+    def __init__(self, rng: random.Random, drop_prob: float = 0.3) -> None:
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob}")
+        self._behavior = random_drop_behavior(rng, drop_prob)
+
+    def deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        return self._behavior(info, outbound, ctx)
+
+
+class SilentPolicy(DeliveryPolicy):
+    """Delivers nothing to honest processes (degenerate bad period)."""
+
+    def deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        return silent_behavior()(info, outbound, ctx)

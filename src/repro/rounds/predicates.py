@@ -1,0 +1,84 @@
+"""Checkers for the communication predicates of Section 2.1 / Section 6.
+
+These functions *verify* a predicate over an observed delivery matrix (they
+do not enforce it — that is the job of delivery policies).  The engine
+evaluates them each round and records the outcome in the trace, which lets
+tests and benches assert statements like "Pcons held in the selection round
+of the first good phase".
+
+Definitions (C = set of correct processes):
+
+* ``Pgood(r)``: every correct process receives the message of every correct
+  process that addressed it this round — ``∀p,q ∈ C: μ_p[q] = S_q(s_q)``.
+  We evaluate the footnote-6 variant: equality is only required when ``q``
+  actually addressed ``p`` (rounds need not be all-to-all).
+* ``Pcons(r)``: ``Pgood(r)`` and all correct *addressed* processes receive
+  identical vectors — ``∀p,q ∈ C: μ_p = μ_q``.
+* ``Prel(r)``: every correct process receives at least ``n − b − f``
+  messages (the "reliable channels" predicate of randomized algorithms).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Mapping
+
+from repro.core.types import ProcessId
+from repro.rounds.base import DeliveryMatrix, OutboundMatrix
+
+
+def check_pgood(
+    outbound: OutboundMatrix,
+    delivered: DeliveryMatrix,
+    correct: AbstractSet[ProcessId],
+) -> bool:
+    """Did every correct→correct addressed message arrive intact?"""
+    for sender in correct:
+        sent = outbound.get(sender, {})
+        for dest, payload in sent.items():
+            if dest not in correct:
+                continue
+            inbox = delivered.get(dest, {})
+            if sender not in inbox or inbox[sender] != payload:
+                return False
+    return True
+
+
+def check_pcons(
+    outbound: OutboundMatrix,
+    delivered: DeliveryMatrix,
+    correct: AbstractSet[ProcessId],
+) -> bool:
+    """``Pgood`` plus identical reception vectors at addressed correct processes.
+
+    Following footnote 6, vector equality is only required among the correct
+    processes that were addressed by at least one correct sender this round
+    (with a non-all-to-all selector, processes outside the selector set
+    legitimately receive nothing).
+    """
+    if not check_pgood(outbound, delivered, correct):
+        return False
+    addressed = {
+        dest
+        for sender in correct
+        for dest in outbound.get(sender, {})
+        if dest in correct
+    }
+    if not addressed:
+        return True
+    vectors = []
+    for pid in sorted(addressed):
+        inbox = delivered.get(pid, {})
+        vectors.append(tuple(sorted(inbox.items(), key=lambda item: item[0])))
+    return all(vector == vectors[0] for vector in vectors)
+
+
+def check_prel(
+    delivered: DeliveryMatrix,
+    correct: AbstractSet[ProcessId],
+    minimum: int,
+) -> bool:
+    """Did every correct process receive at least ``minimum`` messages?"""
+    for pid in correct:
+        if len(delivered.get(pid, {})) < minimum:
+            return False
+    return True

@@ -1,0 +1,22 @@
+"""State machine replication on top of repeated consensus (Section 5.3).
+
+Paxos and PBFT "solve a sequence of instances of consensus"; this package
+provides that sequence: a replicated log where each slot is decided by one
+instance of the generic algorithm, and pluggable state machines applied in
+log order.
+"""
+
+from repro.smr.log import LogEntry, ReplicatedLog
+from repro.smr.machine import Command, CounterMachine, KeyValueStore, StateMachine
+from repro.smr.replica import ReplicatedService, SmrReport
+
+__all__ = [
+    "Command",
+    "CounterMachine",
+    "KeyValueStore",
+    "LogEntry",
+    "ReplicatedLog",
+    "ReplicatedService",
+    "SmrReport",
+    "StateMachine",
+]

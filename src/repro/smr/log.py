@@ -1,0 +1,57 @@
+"""The replicated log: one consensus-decided entry per slot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.smr.machine import Command
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A decided slot."""
+
+    slot: int
+    command: Command
+    #: How many phases the deciding consensus instance took.
+    phases: Optional[int] = None
+
+
+class ReplicatedLog:
+    """An append-only log with a contiguous committed prefix.
+
+    Slots are numbered from 0.  Entries may only be committed once; a
+    conflicting commit raises — it would mean consensus agreement was
+    violated upstream.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, LogEntry] = {}
+
+    def commit(self, entry: LogEntry) -> None:
+        existing = self._entries.get(entry.slot)
+        if existing is not None and existing.command != entry.command:
+            raise ValueError(
+                f"slot {entry.slot} already committed with "
+                f"{existing.command!r}, refusing {entry.command!r}"
+            )
+        self._entries.setdefault(entry.slot, entry)
+
+    def entry(self, slot: int) -> Optional[LogEntry]:
+        return self._entries.get(slot)
+
+    @property
+    def next_slot(self) -> int:
+        """First unused slot index."""
+        return max(self._entries) + 1 if self._entries else 0
+
+    def committed_prefix(self) -> Iterator[LogEntry]:
+        """Entries from slot 0 up to the first gap, in order."""
+        slot = 0
+        while slot in self._entries:
+            yield self._entries[slot]
+            slot += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

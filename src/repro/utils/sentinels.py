@@ -1,0 +1,60 @@
+"""Sentinel singletons used by the FLV functions.
+
+The paper's ``FLV`` function may return three kinds of results:
+
+* a concrete value ``v`` taken from the received votes,
+* ``?`` — *any* value may be selected (no value is locked),
+* ``null`` — not enough information to select safely.
+
+We model ``?`` and ``null`` as distinct singleton sentinels so that they can
+never collide with application-level consensus values (including ``None``,
+``0`` or ``False`` which are all legal proposals).
+"""
+
+from __future__ import annotations
+
+
+class Sentinel:
+    """A named singleton marker.
+
+    Instances compare equal only to themselves, hash by identity and have a
+    stable, readable ``repr``.  Two sentinels with the same name are still
+    distinct objects; always import the module-level constants instead of
+    constructing new ones.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The display name of this sentinel."""
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"<{self._name}>"
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (used by trace dumps).
+        if self._name == "ANY":
+            return (_load_any, ())
+        if self._name == "NULL":
+            return (_load_null, ())
+        return (Sentinel, (self._name,))
+
+
+def _load_any() -> "Sentinel":
+    return ANY_VALUE
+
+
+def _load_null() -> "Sentinel":
+    return NULL_VALUE
+
+
+#: The paper's ``?`` result: any value may be selected.
+ANY_VALUE = Sentinel("ANY")
+
+#: The paper's ``null`` result: insufficient information, select nothing.
+NULL_VALUE = Sentinel("NULL")

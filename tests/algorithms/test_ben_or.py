@@ -1,0 +1,45 @@
+"""Ben-Or spec building (execution is covered in tests/core/test_randomized)."""
+
+import pytest
+
+from repro.algorithms.ben_or import build_ben_or
+from repro.core.randomized import check_randomizable
+from repro.core.types import Flag
+
+
+class TestBenignVariant:
+    def test_threshold_f_plus_1(self):
+        assert build_ben_or(5, f=2).parameters.threshold == 3
+
+    def test_default_f(self):
+        assert build_ben_or(5).parameters.model.f == 2
+
+    def test_bound(self):
+        with pytest.raises(ValueError, match="n > 2f"):
+            build_ben_or(4, f=2)
+
+
+class TestByzantineVariant:
+    def test_threshold_3b_plus_1(self):
+        assert build_ben_or(5, b=1).parameters.threshold == 4
+
+    def test_bound(self):
+        with pytest.raises(ValueError, match="n > 4b"):
+            build_ben_or(8, b=2)
+        assert build_ben_or(9, b=2).parameters.threshold == 7
+
+    def test_f_forced_to_zero(self):
+        assert build_ben_or(5, b=1).parameters.model.f == 0
+
+
+class TestStructure:
+    def test_flag_phi(self):
+        assert build_ben_or(5).parameters.flag is Flag.CURRENT_PHASE
+
+    def test_randomizable(self):
+        assert check_randomizable(build_ben_or(5).parameters)
+        assert check_randomizable(build_ben_or(5, b=1).parameters)
+
+    def test_name_mentions_variant(self):
+        assert "benign" in build_ben_or(5).name
+        assert "Byzantine" in build_ben_or(5, b=1).name

@@ -1,0 +1,64 @@
+"""Chandra-Toueg: rotating coordinator, majority threshold."""
+
+import pytest
+
+from repro.algorithms.chandra_toueg import build_chandra_toueg
+from repro.faults.crash import CrashEvent, CrashSchedule
+
+
+class TestBuilder:
+    def test_bound(self):
+        with pytest.raises(ValueError, match="n > 2f"):
+            build_chandra_toueg(2, f=1)
+
+    def test_rotating_coordinator(self):
+        spec = build_chandra_toueg(3)
+        selector = spec.parameters.selector
+        assert selector.select(0, 1) == frozenset({0})
+        assert selector.select(0, 2) == frozenset({1})
+
+
+class TestExecution:
+    def test_decides_phase_one_with_live_coordinator(self):
+        spec = build_chandra_toueg(3)
+        outcome = spec.run({0: "a", 1: "b", 2: "c"})
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.phases_to_last_decision == 1
+
+    def test_rotation_skips_crashed_coordinator(self):
+        """Phase 1's coordinator (process 0) is dead: the rotation reaches
+        process 1 in phase 2 and decides there."""
+        spec = build_chandra_toueg(3)
+        schedule = CrashSchedule(
+            spec.parameters.model, [CrashEvent(0, 1, frozenset())]
+        )
+        outcome = spec.run(
+            {pid: f"v{pid}" for pid in range(3)},
+            crash_schedule=schedule,
+            max_phases=5,
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.phases_to_last_decision == 2
+
+    def test_coordinator_value_propagates(self):
+        # With coordinator 0 in phase 1 and a fresh system, its FLV answers
+        # ? and selects deterministically; all correct adopt one value.
+        spec = build_chandra_toueg(5)
+        outcome = spec.run({pid: f"v{pid}" for pid in range(5)})
+        assert len(outcome.decided_values) == 1
+
+    def test_max_crashes(self):
+        spec = build_chandra_toueg(5)  # f = 2
+        schedule = CrashSchedule(
+            spec.parameters.model,
+            [CrashEvent(0, 1, frozenset()), CrashEvent(1, 1, frozenset())],
+        )
+        outcome = spec.run(
+            {pid: f"v{pid}" for pid in range(5)},
+            crash_schedule=schedule,
+            max_phases=6,
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided

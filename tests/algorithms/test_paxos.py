@@ -1,0 +1,87 @@
+"""Paxos: leader-based benign consensus."""
+
+import pytest
+
+from repro.algorithms.paxos import build_paxos
+from repro.core.types import FaultModel
+from repro.detectors.leader import OmegaOracle, StabilizingLeaderOracle
+from repro.faults.crash import CrashEvent, CrashSchedule
+
+
+class TestBuilder:
+    def test_bound(self):
+        with pytest.raises(ValueError, match="n > 2f"):
+            build_paxos(4, f=2)
+
+    def test_majority_threshold(self):
+        assert build_paxos(3).parameters.threshold == 2
+        assert build_paxos(5).parameters.threshold == 3
+
+    def test_leader_selector_is_singleton(self):
+        spec = build_paxos(3)
+        assert spec.parameters.selector.is_singleton
+
+
+class TestExecution:
+    def test_decides_with_stable_leader(self):
+        spec = build_paxos(3)
+        outcome = spec.run({0: "a", 1: "b", 2: "c"})
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.phases_to_last_decision == 1
+
+    def test_leader_value_wins_fresh_start(self):
+        # With leader n−1 and a fresh system, Algorithm 7 returns ? at the
+        # leader, which then picks deterministically among all proposals.
+        spec = build_paxos(3, oracle=OmegaOracle(2))
+        outcome = spec.run({0: "b", 1: "c", 2: "a"})
+        assert len(outcome.decided_values) == 1
+
+    def test_tolerates_minority_crashes(self):
+        spec = build_paxos(5)
+        model = spec.parameters.model
+        schedule = CrashSchedule(
+            model, [CrashEvent(0, 1, frozenset()), CrashEvent(1, 2)]
+        )
+        outcome = spec.run(
+            {pid: f"v{pid}" for pid in range(5)}, crash_schedule=schedule
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+
+    def test_crashed_leader_blocks_until_reelection(self):
+        """A dead leader stalls phases; a stabilizing oracle recovers."""
+        model_n = 3
+        oracle = StabilizingLeaderOracle(
+            FaultModel(model_n, 0, 1),
+            stable_leader=2,
+            stable_from_phase=3,
+            chaos_pool=[0],  # everyone initially follows doomed process 0
+            seed=1,
+        )
+        spec = build_paxos(model_n, oracle=oracle)
+        schedule = CrashSchedule(
+            spec.parameters.model, [CrashEvent(0, 1, frozenset())]
+        )
+        outcome = spec.run(
+            {pid: f"v{pid}" for pid in range(3)},
+            crash_schedule=schedule,
+            max_phases=8,
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        # Decision can only happen once the oracle stabilizes (phase ≥ 3).
+        assert outcome.phases_to_last_decision >= 3
+
+    def test_indulgence_no_decision_before_stabilization_means_no_conflict(
+        self,
+    ):
+        """Whatever the chaotic leader prefix does, agreement holds."""
+        for seed in range(5):
+            oracle = StabilizingLeaderOracle(
+                FaultModel(3, 0, 1), 2, stable_from_phase=4, seed=seed
+            )
+            spec = build_paxos(3, oracle=oracle)
+            outcome = spec.run({0: "x", 1: "y", 2: "z"}, max_phases=10)
+            assert outcome.agreement_holds, seed
+            assert outcome.all_correct_decided, seed

@@ -1,0 +1,95 @@
+"""Invariant checkers."""
+
+import pytest
+
+from repro.analysis.invariants import (
+    InvariantViolation,
+    check_agreement,
+    check_integrity,
+    check_termination,
+    check_unanimity,
+    check_validity,
+    holds,
+)
+from repro.core.types import Decision
+
+
+def decision(pid, value):
+    return Decision(pid, value, 3, 1)
+
+
+class TestAgreement:
+    def test_passes_on_common_value(self):
+        check_agreement({0: decision(0, "v"), 1: decision(1, "v")})
+
+    def test_fails_on_conflict(self):
+        with pytest.raises(InvariantViolation, match="agreement"):
+            check_agreement({0: decision(0, "v"), 1: decision(1, "w")})
+
+    def test_empty_ok(self):
+        check_agreement({})
+
+
+class TestValidity:
+    def test_passes_on_proposal(self):
+        check_validity(
+            {0: decision(0, "a")}, {0: "a", 1: "b"}, byzantine=frozenset()
+        )
+
+    def test_fails_on_invented_value(self):
+        with pytest.raises(InvariantViolation, match="validity"):
+            check_validity(
+                {0: decision(0, "z")}, {0: "a", 1: "b"}, byzantine=frozenset()
+            )
+
+    def test_vacuous_with_byzantine(self):
+        check_validity(
+            {0: decision(0, "z")}, {0: "a"}, byzantine=frozenset({3})
+        )
+
+
+class TestUnanimity:
+    def test_fails_when_common_proposal_ignored(self):
+        with pytest.raises(InvariantViolation, match="unanimity"):
+            check_unanimity(
+                {0: decision(0, "z")},
+                {0: "a", 1: "a"},
+                byzantine=frozenset(),
+            )
+
+    def test_vacuous_on_split_proposals(self):
+        check_unanimity(
+            {0: decision(0, "z")}, {0: "a", 1: "b"}, byzantine=frozenset()
+        )
+
+    def test_byzantine_proposals_ignored(self):
+        check_unanimity(
+            {0: decision(0, "a")},
+            {0: "a", 1: "a", 2: "poison"},
+            byzantine=frozenset({2}),
+        )
+
+
+class TestTermination:
+    def test_passes_when_all_correct_decided(self):
+        check_termination({0: decision(0, "v"), 1: decision(1, "v")}, {0, 1})
+
+    def test_fails_on_missing(self):
+        with pytest.raises(InvariantViolation, match="termination"):
+            check_termination({0: decision(0, "v")}, {0, 1})
+
+
+class TestIntegrity:
+    def test_passes_unique(self):
+        check_integrity([decision(0, "v"), decision(1, "v")])
+
+    def test_fails_on_double_decide(self):
+        with pytest.raises(InvariantViolation, match="integrity"):
+            check_integrity([decision(0, "v"), decision(0, "v")])
+
+
+def test_holds_wrapper():
+    assert holds(check_agreement, {0: decision(0, "v")})
+    assert not holds(
+        check_agreement, {0: decision(0, "v"), 1: decision(1, "w")}
+    )

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.types import FaultModel, SelectionMessage
+
+
+@pytest.fixture
+def benign_model() -> FaultModel:
+    """A 3-process benign model tolerating one crash (Paxos minimum)."""
+    return FaultModel(n=3, b=0, f=1)
+
+
+@pytest.fixture
+def pbft_model() -> FaultModel:
+    """The PBFT minimum: n = 3b + 1 with b = 1."""
+    return FaultModel(n=4, b=1, f=0)
+
+
+@pytest.fixture
+def mqb_model() -> FaultModel:
+    """The MQB minimum: n = 4b + 1 with b = 1."""
+    return FaultModel(n=5, b=1, f=0)
+
+
+@pytest.fixture
+def fab_model() -> FaultModel:
+    """The FaB Paxos minimum: n = 5b + 1 with b = 1."""
+    return FaultModel(n=6, b=1, f=0)
+
+
+def sel_msg(vote, ts=0, history=None, selector=frozenset()):
+    """Shorthand for building selection messages in FLV tests."""
+    if history is None:
+        history = frozenset({(vote, 0)})
+    return SelectionMessage(
+        vote=vote, ts=ts, history=frozenset(history), selector=frozenset(selector)
+    )
+
+
+def class_params(cls: AlgorithmClass, model: FaultModel, **kwargs):
+    return build_class_parameters(cls, model, **kwargs)

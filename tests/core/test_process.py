@@ -1,0 +1,174 @@
+"""GenericConsensusProcess: per-round behaviour of Algorithm 1."""
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.parameters import GenericConsensusConfig
+from repro.core.process import GenericConsensusProcess, RoundStructure
+from repro.core.types import (
+    DecisionMessage,
+    FaultModel,
+    RoundInfo,
+    RoundKind,
+    SelectionMessage,
+    ValidationMessage,
+)
+from repro.utils.sentinels import NULL_VALUE
+from tests.conftest import sel_msg
+
+
+@pytest.fixture
+def class3_process(pbft_model):
+    params = build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+    return GenericConsensusProcess(0, "init0", params)
+
+
+def info(number, phase, kind):
+    return RoundInfo(number, phase, kind)
+
+
+class TestSelectionRound:
+    def test_sends_state_to_selector_members(self, class3_process):
+        out = class3_process.send(info(1, 1, RoundKind.SELECTION))
+        assert set(out) == {0, 1, 2, 3}
+        message = out[0]
+        assert isinstance(message, SelectionMessage)
+        assert message.vote == "init0"
+        assert message.ts == 0
+        assert ("init0", 0) in message.history
+
+    def test_static_selector_elides_set(self, class3_process):
+        out = class3_process.send(info(1, 1, RoundKind.SELECTION))
+        assert out[0].selector == frozenset()  # optimization: not sent
+
+    def test_selection_updates_vote_and_history(self, class3_process):
+        received = {
+            q: sel_msg("w", ts=0) for q in range(4)
+        }
+        class3_process.receive(info(1, 1, RoundKind.SELECTION), received)
+        # Unanimity branch: all votes w → w selected.
+        assert class3_process.state.vote == "w"
+        assert ("w", 1) in class3_process.state.history
+
+    def test_malformed_messages_are_dropped(self, class3_process):
+        received = {0: "garbage", 1: 42, 2: None}
+        class3_process.receive(info(1, 1, RoundKind.SELECTION), received)
+        # Nothing parseable → FLV null → vote unchanged.
+        assert class3_process.state.vote == "init0"
+
+    def test_empty_reception_keeps_state(self, class3_process):
+        class3_process.receive(info(1, 1, RoundKind.SELECTION), {})
+        assert class3_process.state.vote == "init0"
+        assert class3_process.state.history == {("init0", 0)}
+
+
+class TestValidationRound:
+    def _run_selection(self, process, value="w"):
+        received = {q: sel_msg(value, ts=0) for q in range(4)}
+        process.receive(info(1, 1, RoundKind.SELECTION), received)
+
+    def test_validator_broadcasts_select(self, class3_process):
+        self._run_selection(class3_process)
+        out = class3_process.send(info(2, 1, RoundKind.VALIDATION))
+        assert set(out) == {0, 1, 2, 3}
+        assert isinstance(out[0], ValidationMessage)
+        assert out[0].select == "w"
+
+    def test_non_validator_is_silent(self, pbft_model):
+        from repro.core.selector import FixedSelector
+
+        params = build_class_parameters(
+            AlgorithmClass.CLASS_3,
+            pbft_model,
+            selector=FixedSelector(pbft_model, [1, 2, 3]),
+        )
+        process = GenericConsensusProcess(0, "v", params)
+        self._run_selection(process)
+        assert process.send(info(2, 1, RoundKind.VALIDATION)) == {}
+
+    def test_quorum_validates_vote_and_ts(self, class3_process):
+        self._run_selection(class3_process)
+        received = {
+            q: ValidationMessage("w", frozenset()) for q in range(3)
+        }
+        class3_process.receive(info(2, 1, RoundKind.VALIDATION), received)
+        assert class3_process.state.vote == "w"
+        assert class3_process.state.ts == 1
+
+    def test_no_quorum_reverts(self, class3_process):
+        self._run_selection(class3_process)
+        received = {0: ValidationMessage("w", frozenset())}
+        class3_process.receive(info(2, 1, RoundKind.VALIDATION), received)
+        assert class3_process.state.ts == 0
+        assert class3_process.state.vote == "init0"  # reverted to ts=0 pair
+
+    def test_null_select_is_not_a_candidate(self, class3_process):
+        self._run_selection(class3_process)
+        received = {
+            q: ValidationMessage(NULL_VALUE, frozenset()) for q in range(4)
+        }
+        class3_process.receive(info(2, 1, RoundKind.VALIDATION), received)
+        assert class3_process.state.ts == 0  # null never validates
+
+
+class TestDecisionRound:
+    def test_sends_vote_and_ts(self, class3_process):
+        out = class3_process.send(info(3, 1, RoundKind.DECISION))
+        assert isinstance(out[0], DecisionMessage)
+        assert out[0].vote == "init0"
+
+    def test_decides_with_threshold_current_phase(self, class3_process):
+        received = {q: DecisionMessage("w", 1) for q in range(3)}  # TD = 3
+        class3_process.receive(info(3, 1, RoundKind.DECISION), received)
+        assert class3_process.decided == "w"
+
+    def test_stale_timestamps_do_not_decide(self, class3_process):
+        received = {q: DecisionMessage("w", 0) for q in range(4)}
+        class3_process.receive(info(3, 1, RoundKind.DECISION), received)
+        assert not class3_process.has_decided
+
+    def test_below_threshold_does_not_decide(self, class3_process):
+        received = {q: DecisionMessage("w", 1) for q in range(2)}
+        class3_process.receive(info(3, 1, RoundKind.DECISION), received)
+        assert not class3_process.has_decided
+
+    def test_flag_any_counts_all_timestamps(self, fab_model):
+        params = build_class_parameters(AlgorithmClass.CLASS_1, fab_model)
+        process = GenericConsensusProcess(0, "v", params)
+        received = {q: DecisionMessage("w", 0) for q in range(5)}  # TD = 5
+        process.receive(info(2, 1, RoundKind.DECISION), received)
+        assert process.decided == "w"
+
+    def test_decision_round_recorded(self, class3_process):
+        received = {q: DecisionMessage("w", 2) for q in range(3)}
+        class3_process.receive(info(6, 2, RoundKind.DECISION), received)
+        assert class3_process.decision_round == 6
+
+
+class TestSkipFirstSelectionConfig:
+    def test_preinitialized_selection(self, pbft_model):
+        params = build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+        config = GenericConsensusConfig(skip_first_selection=True)
+        process = GenericConsensusProcess(0, "v", params, config)
+        # Phase 1 starts at validation; select_p = init_p, validators = Π.
+        out = process.send(info(1, 1, RoundKind.VALIDATION))
+        assert out[0].select == "v"
+
+    def test_structure_matches_config(self, pbft_model):
+        params = build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+        config = GenericConsensusConfig(skip_first_selection=True)
+        process = GenericConsensusProcess(0, "v", params, config)
+        assert process.structure.skip_first_selection
+
+
+class TestHistoryBound:
+    def test_truncation(self, pbft_model):
+        params = build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+        config = GenericConsensusConfig(max_history_size=2)
+        process = GenericConsensusProcess(0, "v", params, config)
+        for phase in range(1, 6):
+            received = {q: sel_msg(f"w{phase}", ts=0) for q in range(4)}
+            process.receive(
+                info(3 * phase - 2, phase, RoundKind.SELECTION), received
+            )
+        assert len(process.state.history) <= 2

@@ -1,0 +1,131 @@
+"""The randomized adaptation (Section 6)."""
+
+import pytest
+
+from repro.algorithms.ben_or import build_ben_or
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.randomized import (
+    check_randomizable,
+    make_coin,
+    run_randomized_consensus,
+)
+from repro.core.types import FaultModel
+
+
+class TestCoin:
+    def test_deterministic_per_seed(self):
+        a = make_coin(1, process=0)
+        b = make_coin(1, process=0)
+        assert [a(p) for p in range(10)] == [b(p) for p in range(10)]
+
+    def test_independent_per_process(self):
+        a = make_coin(1, process=0)
+        b = make_coin(1, process=1)
+        assert [a(p) for p in range(20)] != [b(p) for p in range(20)]
+
+    def test_values_drawn_from_pool(self):
+        coin = make_coin(3, process=0, values=("h", "t"))
+        assert {coin(p) for p in range(30)} == {"h", "t"}
+
+    def test_requires_two_outcomes(self):
+        with pytest.raises(ValueError):
+            make_coin(0, process=0, values=(1,))
+
+
+class TestRandomizable:
+    def test_classes_1_and_2_yes_class_3_no(self):
+        """Section 6: only classes 1 and 2 satisfy strengthened liveness."""
+        cases = [
+            (AlgorithmClass.CLASS_1, FaultModel(6, 1, 0), True),
+            (AlgorithmClass.CLASS_2, FaultModel(5, 1, 0), True),
+            (AlgorithmClass.CLASS_3, FaultModel(4, 1, 0), False),
+        ]
+        for cls, model, expected in cases:
+            params = build_class_parameters(cls, model)
+            assert check_randomizable(params) is expected
+
+    def test_class3_run_rejected(self, pbft_model):
+        params = build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+        with pytest.raises(ValueError, match="FLV-liveness"):
+            run_randomized_consensus(params, {pid: 0 for pid in range(4)})
+
+
+class TestBenOrBenign:
+    def test_unanimous_start_decides_immediately(self):
+        spec = build_ben_or(4)
+        outcome = run_randomized_consensus(
+            spec.parameters, {pid: 1 for pid in range(4)}, seed=11
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.decided_values == {1}
+
+    def test_split_start_terminates_with_probability_one(self):
+        spec = build_ben_or(4)
+        outcome = run_randomized_consensus(
+            spec.parameters, {0: 0, 1: 1, 2: 0, 3: 1}, seed=5
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.decided_values <= {0, 1}
+
+    def test_multiple_seeds_always_agree(self):
+        spec = build_ben_or(5)
+        for seed in range(8):
+            outcome = run_randomized_consensus(
+                spec.parameters,
+                {0: 0, 1: 1, 2: 0, 3: 1, 4: 0},
+                seed=seed,
+            )
+            assert outcome.agreement_holds, f"seed {seed}"
+            assert outcome.all_correct_decided, f"seed {seed}"
+
+
+class TestBenOrByzantine:
+    def test_silent_adversary(self):
+        spec = build_ben_or(5, b=1)
+        outcome = run_randomized_consensus(
+            spec.parameters,
+            {0: 0, 1: 1, 2: 0, 3: 1},
+            seed=3,
+            byzantine={4: "silent"},
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+
+    def test_equivocating_adversary_with_slack(self):
+        # n = 8 > 4b + 3 gives enough slack for fast convergence.
+        spec = build_ben_or(8, b=1)
+        outcome = run_randomized_consensus(
+            spec.parameters,
+            {pid: pid % 2 for pid in range(7)},
+            seed=3,
+            byzantine={7: "equivocator"},
+            max_phases=300,
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+
+    def test_unanimity_under_attack(self):
+        spec = build_ben_or(5, b=1)
+        outcome = run_randomized_consensus(
+            spec.parameters,
+            {pid: 1 for pid in range(4)},
+            seed=9,
+            byzantine={4: "vote-flipper"},
+        )
+        assert outcome.decided_values <= {1}
+
+
+class TestVariantBounds:
+    def test_benign_bound(self):
+        with pytest.raises(ValueError, match="n > 2f"):
+            build_ben_or(4, f=2)
+
+    def test_byzantine_bound(self):
+        with pytest.raises(ValueError, match="n > 4b"):
+            build_ben_or(4, b=1)
+
+    def test_thresholds(self):
+        assert build_ben_or(5, f=2).parameters.threshold == 3  # f + 1
+        assert build_ben_or(5, b=1).parameters.threshold == 4  # 3b + 1

@@ -1,0 +1,94 @@
+"""RoundStructure: mapping global rounds to (phase, kind)."""
+
+import pytest
+
+from repro.core.process import RoundStructure
+from repro.core.types import Flag, RoundKind
+
+
+class TestThreeRoundPhases:
+    def test_paper_numbering(self):
+        structure = RoundStructure(Flag.CURRENT_PHASE)
+        # Phase φ: selection 3φ−2, validation 3φ−1, decision 3φ.
+        for phase in (1, 2, 5):
+            assert structure.info(3 * phase - 2).kind is RoundKind.SELECTION
+            assert structure.info(3 * phase - 1).kind is RoundKind.VALIDATION
+            assert structure.info(3 * phase).kind is RoundKind.DECISION
+            assert structure.info(3 * phase).phase == phase
+
+    def test_rounds_per_phase(self):
+        assert RoundStructure(Flag.CURRENT_PHASE).rounds_per_phase == 3
+
+    def test_rounds_for_phases(self):
+        structure = RoundStructure(Flag.CURRENT_PHASE)
+        assert structure.rounds_for_phases(4) == 12
+
+
+class TestTwoRoundPhases:
+    def test_validation_suppressed(self):
+        structure = RoundStructure(Flag.ANY)
+        kinds = [structure.info(r).kind for r in range(1, 7)]
+        assert kinds == [
+            RoundKind.SELECTION,
+            RoundKind.DECISION,
+        ] * 3
+
+    def test_phases(self):
+        structure = RoundStructure(Flag.ANY)
+        assert structure.info(1).phase == 1
+        assert structure.info(2).phase == 1
+        assert structure.info(3).phase == 2
+        assert structure.info(6).phase == 3
+
+
+class TestSkipFirstSelection:
+    def test_three_round_flag(self):
+        structure = RoundStructure(Flag.CURRENT_PHASE, skip_first_selection=True)
+        kinds = [structure.info(r).kind for r in range(1, 6)]
+        assert kinds == [
+            RoundKind.VALIDATION,  # phase 1 starts at validation
+            RoundKind.DECISION,
+            RoundKind.SELECTION,  # phase 2 is full
+            RoundKind.VALIDATION,
+            RoundKind.DECISION,
+        ]
+        assert structure.info(2).phase == 1
+        assert structure.info(3).phase == 2
+
+    def test_two_round_flag(self):
+        structure = RoundStructure(Flag.ANY, skip_first_selection=True)
+        kinds = [structure.info(r).kind for r in range(1, 4)]
+        assert kinds == [
+            RoundKind.DECISION,  # phase 1 is decision-only
+            RoundKind.SELECTION,
+            RoundKind.DECISION,
+        ]
+
+    def test_rounds_for_phases_accounts_for_skip(self):
+        structure = RoundStructure(Flag.CURRENT_PHASE, skip_first_selection=True)
+        assert structure.rounds_for_phases(1) == 2
+        assert structure.rounds_for_phases(3) == 8
+
+
+class TestKindsOfPhase:
+    def test_full_phase(self):
+        structure = RoundStructure(Flag.CURRENT_PHASE)
+        assert structure.kinds_of_phase(1) == [
+            RoundKind.SELECTION,
+            RoundKind.VALIDATION,
+            RoundKind.DECISION,
+        ]
+
+    def test_skipped_first_phase(self):
+        structure = RoundStructure(Flag.ANY, skip_first_selection=True)
+        assert structure.kinds_of_phase(1) == [RoundKind.DECISION]
+        assert structure.kinds_of_phase(2) == [
+            RoundKind.SELECTION,
+            RoundKind.DECISION,
+        ]
+
+
+def test_round_numbers_start_at_one():
+    structure = RoundStructure(Flag.CURRENT_PHASE)
+    with pytest.raises(ValueError):
+        structure.info(0)

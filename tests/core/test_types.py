@@ -1,0 +1,138 @@
+"""FaultModel arithmetic and defensive message parsing."""
+
+import pytest
+
+from repro.core.types import (
+    DecisionMessage,
+    FaultModel,
+    Flag,
+    SelectionMessage,
+    ValidationMessage,
+    coerce_decision_message,
+    coerce_history,
+    coerce_selection_message,
+    coerce_validation_message,
+)
+
+
+class TestFaultModel:
+    def test_basic_properties(self):
+        model = FaultModel(n=7, b=1, f=2)
+        assert list(model.processes) == list(range(7))
+        assert model.max_decision_threshold == 4
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            FaultModel(n=0)
+
+    def test_rejects_negative_faults(self):
+        with pytest.raises(ValueError):
+            FaultModel(n=3, b=-1)
+        with pytest.raises(ValueError):
+            FaultModel(n=3, f=-1)
+
+    def test_rejects_all_faulty(self):
+        with pytest.raises(ValueError):
+            FaultModel(n=3, b=2, f=1)
+
+    def test_quorum_exceeds_half_plus_b(self):
+        model = FaultModel(n=4, b=1)
+        # (n + b)/2 = 2.5 → need count ≥ 3.
+        assert not model.quorum_exceeds_half_plus_b(2)
+        assert model.quorum_exceeds_half_plus_b(3)
+
+    def test_describe(self):
+        assert FaultModel(4, 1, 0).describe() == "n=4, b=1, f=0"
+
+
+class TestFlag:
+    def test_validation_round_requirement(self):
+        assert Flag.CURRENT_PHASE.needs_validation_round
+        assert not Flag.ANY.needs_validation_round
+
+
+class TestCoerceHistory:
+    def test_valid(self):
+        history = coerce_history(frozenset({("v", 0), ("w", 3)}))
+        assert history == frozenset({("v", 0), ("w", 3)})
+
+    def test_plain_set_accepted(self):
+        assert coerce_history({("v", 1)}) == frozenset({("v", 1)})
+
+    def test_rejects_non_set(self):
+        assert coerce_history([("v", 0)]) is None
+
+    def test_rejects_bad_entries(self):
+        assert coerce_history(frozenset({("v",)})) is None
+        assert coerce_history(frozenset({("v", -1)})) is None
+        assert coerce_history(frozenset({("v", "0")})) is None
+        assert coerce_history(frozenset({("v", True)})) is None
+
+
+class TestCoerceSelection:
+    def test_valid_roundtrip(self):
+        msg = SelectionMessage("v", 2, frozenset({("v", 2)}), frozenset({0, 1}))
+        assert coerce_selection_message(msg) is msg
+
+    def test_rejects_wrong_type(self):
+        assert coerce_selection_message("garbage") is None
+        assert coerce_selection_message(42) is None
+        assert coerce_selection_message(None) is None
+
+    def test_rejects_negative_ts(self):
+        msg = SelectionMessage("v", -1, frozenset(), frozenset())
+        assert coerce_selection_message(msg) is None
+
+    def test_rejects_bool_ts(self):
+        msg = SelectionMessage("v", True, frozenset(), frozenset())
+        assert coerce_selection_message(msg) is None
+
+    def test_rejects_malformed_history(self):
+        msg = SelectionMessage("v", 0, frozenset({("bad",)}), frozenset())
+        assert coerce_selection_message(msg) is None
+
+    def test_rejects_non_frozen_selector(self):
+        msg = SelectionMessage("v", 0, frozenset(), {0, 1})
+        assert coerce_selection_message(msg) is None
+
+    def test_rejects_non_int_selector_members(self):
+        msg = SelectionMessage("v", 0, frozenset(), frozenset({"zero"}))
+        assert coerce_selection_message(msg) is None
+
+    def test_normalizes_plain_set_history(self):
+        msg = SelectionMessage("v", 0, {("v", 0)}, frozenset())
+        parsed = coerce_selection_message(msg)
+        assert parsed is not None
+        assert isinstance(parsed.history, frozenset)
+        assert parsed.history == frozenset({("v", 0)})
+        # frozenset histories are accepted as-is (no copy):
+        msg2 = SelectionMessage("v", 0, frozenset({("v", 0)}), frozenset())
+        assert coerce_selection_message(msg2) is msg2
+
+
+class TestCoerceValidation:
+    def test_valid(self):
+        msg = ValidationMessage("v", frozenset({0, 1}))
+        assert coerce_validation_message(msg) is msg
+
+    def test_rejects_wrong_type(self):
+        assert coerce_validation_message(("v", frozenset())) is None
+
+    def test_rejects_bad_validators(self):
+        assert coerce_validation_message(ValidationMessage("v", {0})) is None
+        assert (
+            coerce_validation_message(ValidationMessage("v", frozenset({"x"})))
+            is None
+        )
+
+
+class TestCoerceDecision:
+    def test_valid(self):
+        msg = DecisionMessage("v", 3)
+        assert coerce_decision_message(msg) is msg
+
+    def test_rejects_wrong_type(self):
+        assert coerce_decision_message({"vote": "v"}) is None
+
+    def test_rejects_negative_ts(self):
+        assert coerce_decision_message(DecisionMessage("v", -2)) is None

@@ -1,0 +1,72 @@
+"""♦S simulation: completeness and eventual accuracy."""
+
+import pytest
+
+from repro.core.types import FaultModel
+from repro.detectors.failure_detector import DiamondS
+
+
+@pytest.fixture
+def model():
+    return FaultModel(5, 0, 2)
+
+
+def test_completeness_everywhere(model):
+    detector = DiamondS(model, faulty={0, 1}, accurate_from_round=1)
+    for observer in range(2, 5):
+        for round_number in (1, 5, 50):
+            sample = detector.sample(observer, round_number)
+            assert {0, 1} <= sample.suspects
+
+
+def test_accuracy_after_stabilization(model):
+    detector = DiamondS(
+        model, faulty={0}, accurate_from_round=10, false_suspicion_prob=0.9, seed=2
+    )
+    for observer in range(1, 5):
+        sample = detector.sample(observer, 10)
+        assert sample.suspects == frozenset({0})
+
+
+def test_false_suspicions_before_stabilization(model):
+    detector = DiamondS(
+        model, faulty={0}, accurate_from_round=50, false_suspicion_prob=0.9, seed=2
+    )
+    # With probability 0.9 per pair, some correct process is falsely
+    # suspected somewhere in the noisy prefix.
+    suspected = set()
+    for observer in range(1, 5):
+        for round_number in range(1, 10):
+            suspected |= detector.sample(observer, round_number).suspects
+    assert suspected - {0}
+
+
+def test_noise_is_deterministic(model):
+    a = DiamondS(model, faulty={0}, accurate_from_round=50, seed=3)
+    b = DiamondS(model, faulty={0}, accurate_from_round=50, seed=3)
+    assert a.sample(1, 4).suspects == b.sample(1, 4).suspects
+
+
+def test_never_self_suspects(model):
+    detector = DiamondS(
+        model, faulty=set(), accurate_from_round=100, false_suspicion_prob=1.0
+    )
+    for observer in range(5):
+        assert observer not in detector.sample(observer, 1).suspects
+
+
+def test_eventually_trusted(model):
+    detector = DiamondS(model, faulty={0, 1})
+    assert detector.eventually_trusted() == frozenset({2, 3, 4})
+
+
+def test_probability_validation(model):
+    with pytest.raises(ValueError):
+        DiamondS(model, faulty=set(), false_suspicion_prob=1.5)
+
+
+def test_sample_api(model):
+    detector = DiamondS(model, faulty={0})
+    sample = detector.sample(1, 1)
+    assert sample.suspects_process(0)
+    assert not sample.suspects_process(1)

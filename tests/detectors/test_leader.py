@@ -1,0 +1,63 @@
+"""Leader oracles."""
+
+import pytest
+
+from repro.core.types import FaultModel
+from repro.detectors.leader import (
+    OmegaOracle,
+    StabilizingLeaderOracle,
+    rotating_oracle,
+)
+
+
+def test_omega_is_constant():
+    oracle = OmegaOracle(2)
+    assert oracle(0, 1) == 2
+    assert oracle(4, 99) == 2
+    assert oracle.leader == 2
+
+
+class TestStabilizingOracle:
+    def test_stable_after_threshold(self):
+        model = FaultModel(5, 0, 2)
+        oracle = StabilizingLeaderOracle(model, 3, stable_from_phase=4, seed=0)
+        for pid in model.processes:
+            for phase in (4, 5, 20):
+                assert oracle(pid, phase) == 3
+
+    def test_chaotic_before_threshold(self):
+        model = FaultModel(5, 0, 2)
+        oracle = StabilizingLeaderOracle(model, 3, stable_from_phase=10, seed=0)
+        sightings = {
+            oracle(pid, phase) for pid in model.processes for phase in range(1, 10)
+        }
+        assert len(sightings) > 1  # disagreement happens pre-stabilization
+
+    def test_chaos_is_deterministic(self):
+        model = FaultModel(5, 0, 2)
+        a = StabilizingLeaderOracle(model, 3, stable_from_phase=10, seed=7)
+        b = StabilizingLeaderOracle(model, 3, stable_from_phase=10, seed=7)
+        assert [a(1, p) for p in range(1, 10)] == [b(1, p) for p in range(1, 10)]
+
+    def test_chaos_pool_restriction(self):
+        model = FaultModel(5, 0, 2)
+        oracle = StabilizingLeaderOracle(
+            model, 3, stable_from_phase=10, chaos_pool=[0, 1], seed=0
+        )
+        assert {oracle(pid, phase) for pid in range(5) for phase in range(1, 10)} <= {
+            0,
+            1,
+        }
+
+    def test_validation(self):
+        model = FaultModel(5, 0, 2)
+        with pytest.raises(ValueError):
+            StabilizingLeaderOracle(model, 9, stable_from_phase=2)
+        with pytest.raises(ValueError):
+            StabilizingLeaderOracle(model, 1, stable_from_phase=0)
+
+
+def test_rotating_oracle():
+    model = FaultModel(3, 0, 1)
+    oracle = rotating_oracle(model)
+    assert [oracle(0, phase) for phase in (1, 2, 3, 4)] == [0, 1, 2, 0]

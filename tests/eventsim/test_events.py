@@ -1,0 +1,48 @@
+"""Event queue ordering."""
+
+import pytest
+
+from repro.eventsim.events import EventQueue
+
+
+def test_orders_by_time():
+    queue = EventQueue()
+    queue.push(3.0, "c")
+    queue.push(1.0, "a")
+    queue.push(2.0, "b")
+    assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_fifo_tiebreak():
+    queue = EventQueue()
+    queue.push(1.0, "first")
+    queue.push(1.0, "second")
+    queue.push(1.0, "third")
+    assert [queue.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_peek_time():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    queue.push(5.0, "x")
+    assert queue.peek_time() == 5.0
+    queue.pop()
+    assert queue.peek_time() is None
+
+
+def test_len_and_bool():
+    queue = EventQueue()
+    assert not queue
+    queue.push(1.0, "x")
+    assert len(queue) == 1
+    assert queue
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1.0, "x")

@@ -1,0 +1,64 @@
+"""Latency models and partial synchrony."""
+
+import random
+
+import pytest
+
+from repro.eventsim.network import (
+    FixedLatency,
+    PartialSynchronyNetwork,
+    UniformLatency,
+)
+
+
+def test_fixed_latency():
+    model = FixedLatency(2.5)
+    rng = random.Random(0)
+    assert model.sample(rng, 0, 1) == 2.5
+
+
+def test_uniform_latency_bounds():
+    model = UniformLatency(0.5, 2.0)
+    rng = random.Random(0)
+    samples = [model.sample(rng, 0, 1) for _ in range(100)]
+    assert all(0.5 <= s <= 2.0 for s in samples)
+
+
+def test_uniform_latency_validation():
+    with pytest.raises(ValueError):
+        UniformLatency(2.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformLatency(0.0, 1.0)
+
+
+class TestPartialSynchrony:
+    def test_post_gst_clamped_to_delta(self):
+        net = PartialSynchronyNetwork(
+            UniformLatency(1.0, 50.0), gst=10.0, delta=2.0, seed=1
+        )
+        for _ in range(50):
+            assert net.transit_time(10.0, 0, 1) <= 2.0
+            assert net.transit_time(99.0, 0, 1) <= 2.0
+
+    def test_pre_gst_can_exceed_delta(self):
+        net = PartialSynchronyNetwork(
+            FixedLatency(1.0),
+            gst=100.0,
+            delta=2.0,
+            pre_gst_delay_prob=1.0,
+            chaos_factor=50.0,
+            seed=1,
+        )
+        assert net.transit_time(0.0, 0, 1) == 50.0
+
+    def test_pre_gst_without_delay_uses_base(self):
+        net = PartialSynchronyNetwork(
+            FixedLatency(1.0), gst=100.0, delta=2.0, pre_gst_delay_prob=0.0
+        )
+        assert net.transit_time(0.0, 0, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialSynchronyNetwork(FixedLatency(), delta=0.0)
+        with pytest.raises(ValueError):
+            PartialSynchronyNetwork(FixedLatency(), pre_gst_delay_prob=2.0)

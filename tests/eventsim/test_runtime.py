@@ -1,0 +1,118 @@
+"""Timed consensus runs: decision latency under partial synchrony."""
+
+import pytest
+
+from repro.algorithms import build_fab_paxos, build_paxos, build_pbft
+from repro.eventsim.network import (
+    FixedLatency,
+    PartialSynchronyNetwork,
+    UniformLatency,
+)
+from repro.eventsim.runtime import run_timed_consensus
+
+
+def synchronous_net(seed=0):
+    return PartialSynchronyNetwork(UniformLatency(0.5, 2.0), gst=0.0, delta=2.0, seed=seed)
+
+
+class TestSynchronousRuns:
+    def test_pbft_decides_in_one_phase(self):
+        spec = build_pbft(4)
+        outcome = run_timed_consensus(
+            spec.parameters,
+            {0: "a", 1: "b", 2: "a"},
+            synchronous_net(),
+            round_duration=2.5,
+            byzantine={3: "equivocator"},
+        )
+        assert outcome.agreement_holds
+        assert outcome.rounds_executed == 3
+        assert outcome.last_decision_time == pytest.approx(7.5)
+
+    def test_fab_is_faster_per_phase_than_pbft(self):
+        """Class 1's 2-round phases beat class 3's 3-round phases in time."""
+        fab = build_fab_paxos(6)
+        pbft = build_pbft(4)
+        fab_out = run_timed_consensus(
+            fab.parameters,
+            {pid: "v" for pid in range(6)},
+            synchronous_net(),
+        )
+        pbft_out = run_timed_consensus(
+            pbft.parameters,
+            {pid: "v" for pid in range(4)},
+            synchronous_net(),
+        )
+        assert fab_out.last_decision_time < pbft_out.last_decision_time
+
+    def test_message_accounting(self):
+        spec = build_pbft(4)
+        outcome = run_timed_consensus(
+            spec.parameters, {pid: "v" for pid in range(4)}, synchronous_net()
+        )
+        assert outcome.messages_sent >= outcome.messages_delivered > 0
+
+
+class TestPartialSynchrony:
+    def test_gst_delays_decision(self):
+        spec = build_paxos(3)
+        early = run_timed_consensus(
+            spec.parameters,
+            {0: "a", 1: "b", 2: "c"},
+            PartialSynchronyNetwork(
+                FixedLatency(1.0), gst=0.0, delta=2.0, seed=3
+            ),
+            round_duration=2.5,
+        )
+        late = run_timed_consensus(
+            spec.parameters,
+            {0: "a", 1: "b", 2: "c"},
+            PartialSynchronyNetwork(
+                FixedLatency(1.0),
+                gst=20.0,
+                delta=2.0,
+                pre_gst_delay_prob=0.9,
+                seed=3,
+            ),
+            round_duration=2.5,
+        )
+        assert early.agreement_holds and late.agreement_holds
+        assert early.all_decided and late.all_decided
+        assert late.last_decision_time > early.last_decision_time
+
+    def test_safety_before_gst(self):
+        spec = build_pbft(4)
+        outcome = run_timed_consensus(
+            spec.parameters,
+            {0: "a", 1: "b", 2: "a"},
+            PartialSynchronyNetwork(
+                UniformLatency(0.5, 2.0),
+                gst=10**9,  # never stabilizes within the run
+                pre_gst_delay_prob=0.7,
+                seed=5,
+            ),
+            byzantine={3: "equivocator"},
+            max_phases=8,
+        )
+        assert outcome.agreement_holds  # may or may not decide
+
+
+class TestSelectionRoundFactor:
+    def test_stretched_selection_rounds_cost_time(self):
+        spec = build_pbft(4)
+        plain = run_timed_consensus(
+            spec.parameters, {pid: "v" for pid in range(4)}, synchronous_net()
+        )
+        stretched = run_timed_consensus(
+            spec.parameters,
+            {pid: "v" for pid in range(4)},
+            synchronous_net(),
+            selection_round_factor=3.0,  # models the 3-round Pcons impl
+        )
+        assert stretched.last_decision_time > plain.last_decision_time
+
+
+def test_missing_initial_value():
+    spec = build_pbft(4)
+    with pytest.raises(ValueError, match="missing initial value"):
+        run_timed_consensus(spec.parameters, {0: "a"}, synchronous_net())

@@ -1,0 +1,85 @@
+"""Adversary scenario presets."""
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.types import FaultModel
+from repro.faults.adversary import (
+    SCENARIO_PRESETS,
+    build_scenario,
+    crash_storm,
+    partition_heal,
+    silent_minority,
+    worst_case,
+)
+
+
+@pytest.fixture
+def pbft_params(pbft_model):
+    return build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+
+
+class TestPresets:
+    def test_worst_case_places_max_b(self):
+        model = FaultModel(7, 2, 0)
+        scenario = worst_case(model)
+        assert len(scenario.byzantine) == 2
+
+    def test_worst_case_run(self, pbft_model, pbft_params):
+        scenario = worst_case(pbft_model)
+        outcome = scenario.run(
+            pbft_params, scenario.honest_values(pbft_model)
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.phases_to_last_decision == 1
+
+    def test_partition_heal_delays_decision(self, pbft_model, pbft_params):
+        scenario = partition_heal(pbft_model, heal_round=7)
+        outcome = scenario.run(
+            pbft_params, scenario.honest_values(pbft_model)
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert outcome.rounds_to_last_decision >= 7
+
+    def test_silent_minority(self, mqb_model):
+        params = build_class_parameters(AlgorithmClass.CLASS_2, mqb_model)
+        scenario = silent_minority(mqb_model)
+        outcome = scenario.run(params, scenario.honest_values(mqb_model))
+        assert outcome.all_correct_decided
+
+    def test_crash_storm(self):
+        model = FaultModel(5, 0, 2)
+        params = build_class_parameters(AlgorithmClass.CLASS_2, model)
+        scenario = crash_storm(model)
+        outcome = scenario.run(params, scenario.honest_values(model))
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert len(outcome.decisions) == 3  # the two crashed never decide
+
+    def test_async_then_sync(self, pbft_model, pbft_params):
+        scenario = build_scenario("async_then_sync", pbft_model, gst_round=9)
+        outcome = scenario.run(
+            pbft_params, scenario.honest_values(pbft_model)
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+
+
+class TestRegistry:
+    def test_all_presets_buildable(self, pbft_model):
+        for name in SCENARIO_PRESETS:
+            scenario = build_scenario(name, pbft_model)
+            assert scenario.name == name
+
+    def test_unknown_preset(self, pbft_model):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("nonsense", pbft_model)
+
+    def test_honest_values_excludes_byzantine(self, pbft_model):
+        scenario = worst_case(pbft_model)
+        values = scenario.honest_values(pbft_model)
+        assert set(values) == {0, 1, 2}
+        uniform = scenario.honest_values(pbft_model, split=False)
+        assert set(uniform.values()) == {"v"}

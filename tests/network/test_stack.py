@@ -1,0 +1,111 @@
+"""The full stack: consensus over implemented Pcons."""
+
+import pytest
+
+from repro.algorithms import build_fab_paxos, build_mqb, build_pbft
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.selector import RotatingSubsetSelector
+from repro.core.types import FaultModel
+from repro.network.stack import run_with_pcons_stack
+from repro.network.wic import (
+    AuthenticatedCoordinatorEcho,
+    SignatureFreeCoordinatorEcho,
+)
+from repro.rounds.schedule import GoodBadSchedule
+
+
+def values_for(model):
+    return {
+        pid: f"v{pid % 2}" for pid in model.processes if pid != model.n - 1
+    }
+
+
+@pytest.mark.parametrize("builder,n", [(build_pbft, 4), (build_mqb, 5), (build_fab_paxos, 6)])
+@pytest.mark.parametrize(
+    "wic_cls", [AuthenticatedCoordinatorEcho, SignatureFreeCoordinatorEcho]
+)
+def test_algorithms_decide_over_implemented_pcons(builder, n, wic_cls):
+    spec = builder(n)
+    model = spec.parameters.model
+    outcome = run_with_pcons_stack(
+        spec.parameters,
+        values_for(model),
+        wic_cls(model),
+        byzantine={model.n - 1: "equivocator"},
+    )
+    assert outcome.agreement_holds
+    assert outcome.all_correct_decided
+    assert outcome.pcons_held_in_phase(1)
+
+
+def test_round_cost_difference():
+    """Authenticated Pcons: 2 micro-rounds; signature-free: 3 (Section 2.2)."""
+    spec = build_pbft(4)
+    model = spec.parameters.model
+    values = {pid: f"v{pid % 2}" for pid in model.processes}
+    auth = run_with_pcons_stack(
+        spec.parameters, values, AuthenticatedCoordinatorEcho(model)
+    )
+    free = run_with_pcons_stack(
+        spec.parameters, values, SignatureFreeCoordinatorEcho(model)
+    )
+    assert auth.micro_rounds_used == 4  # 2 (Pcons) + validation + decision
+    assert free.micro_rounds_used == 5  # 3 (Pcons) + validation + decision
+
+
+def test_byzantine_coordinator_phase_recovers_later():
+    """With the Byzantine process as phase-1 coordinator, Pcons may fail in
+    phase 1 but the rotation reaches a correct coordinator and decides."""
+    spec = build_pbft(4)
+    model = spec.parameters.model
+    values = {pid: f"v{pid % 2}" for pid in (1, 2, 3)}
+    outcome = run_with_pcons_stack(
+        spec.parameters,
+        values,
+        SignatureFreeCoordinatorEcho(model),
+        byzantine={0: "equivocator"},  # process 0 coordinates phase 1
+        max_phases=6,
+    )
+    assert outcome.agreement_holds
+    assert outcome.all_correct_decided
+
+
+def test_bad_periods_delay_but_do_not_break():
+    spec = build_pbft(4)
+    model = spec.parameters.model
+    outcome = run_with_pcons_stack(
+        spec.parameters,
+        values_for(model),
+        SignatureFreeCoordinatorEcho(model),
+        byzantine={3: "equivocator"},
+        schedule=GoodBadSchedule.good_after(8),
+        seed=4,
+        max_phases=12,
+    )
+    assert outcome.agreement_holds
+    assert outcome.all_correct_decided
+    assert outcome.micro_rounds_used > 5  # needed more than one clean phase
+
+
+def test_requires_pi_selector():
+    model = FaultModel(9, 1, 0)
+    params = build_class_parameters(
+        AlgorithmClass.CLASS_2, model, selector=RotatingSubsetSelector(model)
+    )
+    with pytest.raises(ValueError, match="all-processes"):
+        run_with_pcons_stack(
+            params,
+            {pid: "v" for pid in model.processes},
+            AuthenticatedCoordinatorEcho(model),
+        )
+
+
+def test_requires_f_zero():
+    model = FaultModel(7, 1, 1)
+    params = build_class_parameters(AlgorithmClass.CLASS_3, model)
+    with pytest.raises(ValueError, match="f = 0"):
+        run_with_pcons_stack(
+            params,
+            {pid: "v" for pid in model.processes},
+            AuthenticatedCoordinatorEcho(model),
+        )

@@ -1,0 +1,124 @@
+"""Pcons implementations: echo protocols out of Pgood."""
+
+import pytest
+
+from repro.core.types import FaultModel
+from repro.network.wic import (
+    AuthenticatedCoordinatorEcho,
+    SignatureFreeCoordinatorEcho,
+    WicAdversaryMode,
+)
+from repro.rounds.base import RunContext
+from repro.rounds.policies import deliver_to_byzantine, faithful_delivery
+
+
+def pgood_deliver(ctx):
+    """A micro-deliver realizing a good (synchronous) period."""
+
+    def deliver(outbound):
+        matrix = faithful_delivery(outbound)
+        deliver_to_byzantine(matrix, outbound, ctx)
+        return matrix
+
+    return deliver
+
+
+@pytest.fixture
+def model():
+    return FaultModel(4, 1, 0)
+
+
+def correct_vectors(result, ctx):
+    return [
+        tuple(sorted(result.get(pid, {}).items())) for pid in sorted(ctx.correct)
+    ]
+
+
+class TestAuthenticatedEcho:
+    def test_round_cost(self, model):
+        assert AuthenticatedCoordinatorEcho.rounds == 2
+
+    def test_correct_coordinator_gives_identical_vectors(self, model):
+        ctx = RunContext(model, byzantine=frozenset({3}))
+        wic = AuthenticatedCoordinatorEcho(model)
+        inputs = {pid: f"m{pid}" for pid in range(4)}
+        # Phase 1 → coordinator 0 (correct).
+        result = wic.execute(1, inputs, pgood_deliver(ctx), ctx)
+        vectors = correct_vectors(result, ctx)
+        assert all(v == vectors[0] for v in vectors)
+        assert dict(vectors[0]) == inputs  # everything relayed faithfully
+
+    def test_byzantine_coordinator_may_split_but_not_forge(self, model):
+        ctx = RunContext(model, byzantine=frozenset({3}))
+        wic = AuthenticatedCoordinatorEcho(
+            model, adversary_mode=WicAdversaryMode.EQUIVOCATE
+        )
+        inputs = {pid: f"m{pid}" for pid in range(4)}
+        # Phase 4 → coordinator 3 (Byzantine): vectors may differ …
+        result = wic.execute(4, inputs, pgood_deliver(ctx), ctx)
+        for pid in ctx.correct:
+            for sender, payload in result.get(pid, {}).items():
+                # … but every delivered entry is a genuinely signed payload.
+                assert payload == inputs[sender]
+
+    def test_silent_byzantine_coordinator_starves_the_phase(self, model):
+        ctx = RunContext(model, byzantine=frozenset({3}))
+        wic = AuthenticatedCoordinatorEcho(
+            model, adversary_mode=WicAdversaryMode.SILENT
+        )
+        inputs = {pid: f"m{pid}" for pid in range(4)}
+        result = wic.execute(4, inputs, pgood_deliver(ctx), ctx)
+        assert all(not result.get(pid) for pid in ctx.correct)
+
+    def test_rotation_covers_all_processes(self, model):
+        wic = AuthenticatedCoordinatorEcho(model)
+        assert [wic.coordinator(phase) for phase in range(1, 6)] == [0, 1, 2, 3, 0]
+
+
+class TestSignatureFreeEcho:
+    def test_round_cost(self, model):
+        assert SignatureFreeCoordinatorEcho.rounds == 3
+
+    def test_requires_n_gt_3b(self):
+        with pytest.raises(ValueError, match="n > 3b"):
+            SignatureFreeCoordinatorEcho(FaultModel(3, 1, 0))
+
+    def test_correct_coordinator_gives_identical_vectors(self, model):
+        ctx = RunContext(model, byzantine=frozenset({3}))
+        wic = SignatureFreeCoordinatorEcho(model)
+        inputs = {pid: f"m{pid}" for pid in range(4)}
+        result = wic.execute(1, inputs, pgood_deliver(ctx), ctx)
+        vectors = correct_vectors(result, ctx)
+        assert all(v == vectors[0] for v in vectors)
+        assert dict(vectors[0]) == inputs
+
+    def test_byzantine_coordinator_cannot_make_correct_accept_conflicts(
+        self, model
+    ):
+        ctx = RunContext(model, byzantine=frozenset({3}))
+        wic = SignatureFreeCoordinatorEcho(
+            model, adversary_mode=WicAdversaryMode.EQUIVOCATE
+        )
+        inputs = {pid: f"m{pid}" for pid in range(4)}
+        result = wic.execute(4, inputs, pgood_deliver(ctx), ctx)
+        # Accepted entries at different correct processes never conflict:
+        # two n−2b quorums of echoes intersect in an honest process.
+        for sender in range(4):
+            accepted = {
+                result[pid][sender]
+                for pid in ctx.correct
+                if sender in result.get(pid, {})
+            }
+            assert len(accepted) <= 1
+
+    def test_byzantine_echoers_cannot_inject(self, model):
+        # Even with the Byzantine following the protocol as echoer, it
+        # cannot make a never-sent entry reach the n − 2b threshold.
+        ctx = RunContext(model, byzantine=frozenset({3}))
+        wic = SignatureFreeCoordinatorEcho(
+            model, adversary_mode=WicAdversaryMode.FOLLOW
+        )
+        inputs = {pid: f"m{pid}" for pid in range(3)}  # Byzantine sends nothing
+        result = wic.execute(1, inputs, pgood_deliver(ctx), ctx)
+        for pid in ctx.correct:
+            assert 3 not in result.get(pid, {})

@@ -1,0 +1,102 @@
+"""Quorum systems: intersection properties and the footnote-10 mapping."""
+
+import itertools
+
+import pytest
+
+from repro.core.classification import AlgorithmClass
+from repro.core.flv_class2 import mqb_threshold
+from repro.core.flv_variants import fab_paxos_threshold, pbft_threshold
+from repro.core.types import FaultModel
+from repro.quorums.systems import (
+    DisseminationQuorumSystem,
+    MajorityQuorumSystem,
+    MaskingQuorumSystem,
+    OpaqueQuorumSystem,
+    quorum_system_for_class,
+)
+
+
+class TestMajority:
+    def test_sizes(self):
+        assert MajorityQuorumSystem(FaultModel(3, 0, 1)).min_quorum_size() == 2
+        assert MajorityQuorumSystem(FaultModel(4, 0, 1)).min_quorum_size() == 3
+
+    def test_pairwise_intersection_nonempty(self):
+        qs = MajorityQuorumSystem(FaultModel(5, 0, 2))
+        for q1, q2 in itertools.combinations(qs.minimal_quorums(), 2):
+            assert q1 & q2
+
+
+class TestByzantineFamilies:
+    @pytest.mark.parametrize(
+        "family,n_min",
+        [
+            (DisseminationQuorumSystem, 4),   # n ≥ 3b + 1
+            (MaskingQuorumSystem, 5),          # n ≥ 4b + 1
+            (OpaqueQuorumSystem, 6),           # n ≥ 5b + 1
+        ],
+    )
+    def test_availability_threshold(self, family, n_min):
+        assert family(FaultModel(n_min, 1, 0)).is_available()
+        assert not family(FaultModel(n_min - 1, 1, 0)).is_available()
+
+    def test_dissemination_intersections(self):
+        qs = DisseminationQuorumSystem(FaultModel(4, 1, 0))
+        assert qs.intersection_contains_correct()
+        assert not qs.intersection_masks_faults()
+
+    def test_masking_intersections(self):
+        qs = MaskingQuorumSystem(FaultModel(5, 1, 0))
+        assert qs.intersection_masks_faults()
+        assert not qs.intersection_is_opaque()
+
+    def test_opaque_intersections(self):
+        qs = OpaqueQuorumSystem(FaultModel(6, 1, 0))
+        assert qs.intersection_is_opaque()
+
+    def test_enumerated_intersections_match_arithmetic(self):
+        qs = MaskingQuorumSystem(FaultModel(5, 1, 0))
+        worst = min(
+            len(q1 & q2)
+            for q1, q2 in itertools.combinations(qs.minimal_quorums(), 2)
+        )
+        assert worst == qs.worst_intersection()
+
+    def test_is_quorum(self):
+        qs = DisseminationQuorumSystem(FaultModel(4, 1, 0))
+        assert qs.is_quorum({0, 1, 2})
+        assert not qs.is_quorum({0, 1})
+        assert not qs.is_quorum({0, 1, 9})  # out-of-range member
+
+
+class TestFootnote10Mapping:
+    """Class TD thresholds are the minimal quorum sizes of the mapped family."""
+
+    def test_class1_fab_paxos_uses_opaque_quorums(self):
+        for n, b in [(6, 1), (11, 2), (16, 3)]:
+            model = FaultModel(n, b, 0)
+            qs = quorum_system_for_class(AlgorithmClass.CLASS_1, model)
+            assert isinstance(qs, OpaqueQuorumSystem)
+            assert fab_paxos_threshold(model) == qs.min_quorum_size()
+
+    def test_class2_mqb_uses_masking_quorums(self):
+        for n, b in [(5, 1), (9, 2), (13, 3)]:
+            model = FaultModel(n, b, 0)
+            qs = quorum_system_for_class(AlgorithmClass.CLASS_2, model)
+            assert isinstance(qs, MaskingQuorumSystem)
+            assert mqb_threshold(model) == qs.min_quorum_size()
+
+    def test_class3_pbft_uses_dissemination_quorums(self):
+        # At the canonical PBFT size n = 3b + 1 the TD equals the
+        # dissemination quorum size exactly.
+        for b in (1, 2, 3):
+            model = FaultModel(3 * b + 1, b, 0)
+            qs = quorum_system_for_class(AlgorithmClass.CLASS_3, model)
+            assert isinstance(qs, DisseminationQuorumSystem)
+            assert pbft_threshold(model) == qs.min_quorum_size()
+
+
+def test_too_small_model_rejected():
+    with pytest.raises(ValueError):
+        OpaqueQuorumSystem(FaultModel(2, 1, 0))

@@ -1,0 +1,76 @@
+"""Predicate checkers: Pgood, Pcons, Prel over delivery matrices."""
+
+from repro.rounds.predicates import check_pcons, check_pgood, check_prel
+
+CORRECT = {0, 1, 2}
+
+
+def test_pgood_holds_on_faithful_delivery():
+    outbound = {s: {d: f"m{s}" for d in CORRECT} for s in CORRECT}
+    delivered = {d: {s: f"m{s}" for s in CORRECT} for d in CORRECT}
+    assert check_pgood(outbound, delivered, CORRECT)
+
+
+def test_pgood_fails_on_missing_message():
+    outbound = {s: {d: f"m{s}" for d in CORRECT} for s in CORRECT}
+    delivered = {d: {s: f"m{s}" for s in CORRECT} for d in CORRECT}
+    del delivered[2][0]
+    assert not check_pgood(outbound, delivered, CORRECT)
+
+
+def test_pgood_fails_on_corrupted_message():
+    outbound = {0: {1: "original"}}
+    delivered = {1: {0: "tampered"}}
+    assert not check_pgood(outbound, delivered, CORRECT)
+
+
+def test_pgood_ignores_faulty_destinations():
+    # Messages to processes outside the correct set may vanish.
+    outbound = {0: {1: "m", 9: "m"}}
+    delivered = {1: {0: "m"}}
+    assert check_pgood(outbound, delivered, CORRECT)
+
+
+def test_pgood_ignores_byzantine_senders():
+    # Sender 9 is not correct: its deliveries are unconstrained.
+    outbound = {0: {1: "m"}, 9: {1: "x", 2: "y"}}
+    delivered = {1: {0: "m", 9: "x"}, 2: {}}
+    assert check_pgood(outbound, delivered, CORRECT)
+
+
+def test_pcons_requires_identical_vectors():
+    outbound = {s: {d: f"m{s}" for d in CORRECT} for s in CORRECT}
+    same = {s: f"m{s}" for s in CORRECT}
+    delivered = {d: dict(same) for d in CORRECT}
+    assert check_pcons(outbound, delivered, CORRECT)
+
+
+def test_pcons_fails_on_diverging_byzantine_entry():
+    outbound = {s: {d: f"m{s}" for d in CORRECT} for s in CORRECT}
+    delivered = {d: {s: f"m{s}" for s in CORRECT} for d in CORRECT}
+    delivered[0][9] = "byz-a"  # receiver 0 additionally hears 9
+    assert check_pgood(outbound, delivered, CORRECT)
+    assert not check_pcons(outbound, delivered, CORRECT)
+
+
+def test_pcons_restricted_to_addressed_receivers():
+    # Only receiver 1 is addressed (footnote-6 variant): 0 and 2 legitimately
+    # receive nothing.
+    outbound = {0: {1: "m0"}, 1: {1: "m1"}, 2: {1: "m2"}}
+    delivered = {1: {0: "m0", 1: "m1", 2: "m2"}}
+    assert check_pcons(outbound, delivered, CORRECT)
+
+
+def test_pcons_vacuous_without_correct_traffic():
+    assert check_pcons({}, {}, CORRECT)
+
+
+def test_prel_counts_messages():
+    delivered = {0: {1: "a", 2: "b"}, 1: {0: "c", 2: "d"}, 2: {0: "e", 1: "f"}}
+    assert check_prel(delivered, CORRECT, minimum=2)
+    assert not check_prel(delivered, CORRECT, minimum=3)
+
+
+def test_prel_missing_receiver_counts_as_zero():
+    delivered = {0: {1: "a", 2: "b"}}
+    assert not check_prel(delivered, CORRECT, minimum=1)

@@ -1,0 +1,49 @@
+"""Replicated log semantics."""
+
+import pytest
+
+from repro.smr.log import LogEntry, ReplicatedLog
+
+
+def test_commit_and_read():
+    log = ReplicatedLog()
+    log.commit(LogEntry(0, ("set", "x", 1)))
+    assert log.entry(0).command == ("set", "x", 1)
+    assert log.entry(1) is None
+
+
+def test_conflicting_commit_rejected():
+    log = ReplicatedLog()
+    log.commit(LogEntry(0, ("a",)))
+    with pytest.raises(ValueError, match="already committed"):
+        log.commit(LogEntry(0, ("b",)))
+
+
+def test_idempotent_commit_ok():
+    log = ReplicatedLog()
+    log.commit(LogEntry(0, ("a",)))
+    log.commit(LogEntry(0, ("a",)))  # same command: fine
+    assert len(log) == 1
+
+
+def test_next_slot():
+    log = ReplicatedLog()
+    assert log.next_slot == 0
+    log.commit(LogEntry(0, ("a",)))
+    assert log.next_slot == 1
+    log.commit(LogEntry(5, ("f",)))
+    assert log.next_slot == 6
+
+
+def test_committed_prefix_stops_at_gap():
+    log = ReplicatedLog()
+    log.commit(LogEntry(0, ("a",)))
+    log.commit(LogEntry(1, ("b",)))
+    log.commit(LogEntry(3, ("d",)))  # gap at 2
+    prefix = [entry.command for entry in log.committed_prefix()]
+    assert prefix == [("a",), ("b",)]
+
+
+def test_phases_metadata():
+    entry = LogEntry(0, ("a",), phases=2)
+    assert entry.phases == 2

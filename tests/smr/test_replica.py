@@ -1,0 +1,72 @@
+"""Replicated service: repeated consensus end to end."""
+
+import pytest
+
+from repro.algorithms import build_paxos, build_pbft
+from repro.smr.machine import KeyValueStore
+from repro.smr.replica import ReplicatedService
+
+
+class TestBenignService:
+    def test_commands_apply_identically_everywhere(self):
+        service = ReplicatedService(build_paxos(3), KeyValueStore)
+        service.submit(("set", "x", 1))
+        service.submit(("set", "y", 2))
+        service.submit(("del", "x"))
+        report = service.run_until_drained()
+        assert report.slots_committed == 3
+        assert report.digests_agree
+        for machine in service.machines.values():
+            assert machine.get("x") is None
+            assert machine.get("y") == 2
+
+    def test_logs_identical(self):
+        service = ReplicatedService(build_paxos(3), KeyValueStore)
+        service.submit(("set", "a", 1))
+        service.submit(("set", "b", 2))
+        service.run_until_drained()
+        logs = [
+            [entry.command for entry in log.committed_prefix()]
+            for log in service.logs.values()
+        ]
+        assert all(log == logs[0] for log in logs)
+
+    def test_divergent_submissions_still_converge(self):
+        # Different clients talk to different replicas: consensus linearizes.
+        service = ReplicatedService(build_paxos(3), KeyValueStore)
+        service.submit(("set", "x", "from-0"), to=0)
+        service.submit(("set", "x", "from-1"), to=1)
+        report = service.run_until_drained()
+        assert report.digests_agree
+        values = {machine.get("x") for machine in service.machines.values()}
+        assert len(values) == 1
+        assert values <= {"from-0", "from-1"}
+
+
+class TestByzantineService:
+    def test_pbft_replication_under_attack(self):
+        service = ReplicatedService(
+            build_pbft(4), KeyValueStore, byzantine={3: "equivocator"}
+        )
+        service.submit(("set", "k", "v"))
+        service.submit(("set", "k2", "v2"))
+        report = service.run_until_drained()
+        assert report.slots_committed == 2
+        assert report.digests_agree
+        for machine in service.machines.values():
+            assert machine.get("k") == "v"
+
+
+class TestReport:
+    def test_phases_per_slot(self):
+        service = ReplicatedService(build_paxos(3), KeyValueStore)
+        service.submit(("set", "x", 1))
+        report = service.run_until_drained()
+        assert report.phases_per_slot >= 1.0
+        assert report.total_messages > 0
+
+    def test_empty_service_noop(self):
+        service = ReplicatedService(build_paxos(3), KeyValueStore)
+        report = service.run_until_drained()
+        assert report.slots_committed == 0
+        assert report.phases_per_slot == 0.0

@@ -1,0 +1,70 @@
+"""The public API surface: everything advertised in __all__ resolves."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.rounds",
+    "repro.network",
+    "repro.faults",
+    "repro.detectors",
+    "repro.quorums",
+    "repro.eventsim",
+    "repro.smr",
+    "repro.algorithms",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_snippet():
+    """The exact snippet from README.md must keep working."""
+    from repro import (
+        AlgorithmClass,
+        FaultModel,
+        build_class_parameters,
+        run_consensus,
+    )
+
+    model = FaultModel(n=4, b=1)
+    params = build_class_parameters(AlgorithmClass.CLASS_3, model)
+    outcome = run_consensus(
+        params,
+        {0: "commit", 1: "abort", 2: "commit"},
+        byzantine={3: "equivocator"},
+    )
+    assert outcome.agreement_holds and outcome.all_correct_decided
+
+
+def test_docstring_quickstart_in_package():
+    """The module docstring example runs (guards doc rot)."""
+    from repro import AlgorithmClass, FaultModel, build_class_parameters, run_consensus
+
+    model = FaultModel(n=4, b=1)
+    params = build_class_parameters(AlgorithmClass.CLASS_3, model)
+    outcome = run_consensus(
+        params, {0: "A", 2: "B", 3: "A"}, byzantine={1: "equivocator"}
+    )
+    assert outcome.decisions

@@ -1,0 +1,41 @@
+"""Seeded RNG streams: reproducibility and independence."""
+
+from repro.utils.rng import SeededRng
+
+
+def test_same_key_same_stream():
+    a = SeededRng(1).stream("coin", process=2)
+    b = SeededRng(1).stream("coin", process=2)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent():
+    a = SeededRng(1).stream("coin")
+    b = SeededRng(1).stream("latency")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_scope_independent():
+    a = SeededRng(1).stream("coin", process=0)
+    b = SeededRng(1).stream("coin", process=1)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = SeededRng(1).stream("coin")
+    b = SeededRng(2).stream("coin")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_spawn_is_deterministic():
+    a = SeededRng(7).spawn("child").stream("x")
+    b = SeededRng(7).spawn("child").stream("x")
+    assert a.random() == b.random()
+
+
+def test_coin_flips_are_binary():
+    flips = SeededRng(3).coin_flips("c")
+    sample = [next(flips) for _ in range(100)]
+    assert set(sample) <= {0, 1}
+    # A fair coin almost surely produces both outcomes in 100 flips.
+    assert len(set(sample)) == 2

@@ -1,0 +1,36 @@
+"""Sentinel singleton semantics."""
+
+import pickle
+
+from repro.utils.sentinels import ANY_VALUE, NULL_VALUE, Sentinel
+
+
+def test_sentinels_are_distinct():
+    assert ANY_VALUE is not NULL_VALUE
+    assert ANY_VALUE != NULL_VALUE
+
+
+def test_sentinels_do_not_equal_values():
+    for candidate in (None, 0, False, "", "ANY", "NULL", (), frozenset()):
+        assert ANY_VALUE != candidate
+        assert NULL_VALUE != candidate
+
+
+def test_sentinel_repr():
+    assert repr(ANY_VALUE) == "<ANY>"
+    assert repr(NULL_VALUE) == "<NULL>"
+
+
+def test_sentinels_survive_pickling_as_singletons():
+    assert pickle.loads(pickle.dumps(ANY_VALUE)) is ANY_VALUE
+    assert pickle.loads(pickle.dumps(NULL_VALUE)) is NULL_VALUE
+
+
+def test_same_name_sentinels_are_not_equal():
+    assert Sentinel("ANY") is not ANY_VALUE
+    assert Sentinel("ANY") != ANY_VALUE
+
+
+def test_sentinel_hashable_by_identity():
+    pool = {ANY_VALUE, NULL_VALUE, ANY_VALUE}
+    assert len(pool) == 2
