@@ -70,29 +70,39 @@ def test_class1_beats_class3_per_phase(report):
 
 
 def test_gst_sensitivity_curve(report):
-    """Decision time tracks the GST: the curve the model predicts."""
-    spec = build_pbft(4)
-    values = {0: "a", 1: "b", 2: "a"}
-    times = []
-    for gst in (0.0, 15.0, 30.0):
-        network = PartialSynchronyNetwork(
-            UniformLatency(0.5, 2.0),
-            gst=gst,
-            delta=2.0,
-            pre_gst_delay_prob=0.85,
-            seed=11,
-        )
-        outcome = run_timed_consensus(
-            spec.parameters,
-            values,
-            network,
-            round_duration=ROUND,
-            byzantine={3: "equivocator"},
-            max_phases=40,
-        )
-        assert outcome.agreement_holds and outcome.all_decided
-        times.append(outcome.last_decision_time)
-    report(f"PBFT decision time vs GST (0, 15, 30): {times}")
+    """Decision time tracks the GST: the curve the model predicts.
+
+    Runs as a campaign (networks axis = the GST values, repetitions = 5
+    seeds per point) so the curve is a mean over derived-seed runs instead
+    of a single trajectory.
+    """
+    from repro.campaigns import CampaignSpec, FaultSpec, NetworkSpec, run_campaign
+    from repro.campaigns.aggregate import summarize
+
+    gsts = (0.0, 15.0, 30.0)
+    spec = CampaignSpec(
+        name="gst-sensitivity",
+        algorithms=("pbft",),
+        models=((4, 1, 0),),
+        engines=("timed",),
+        faults=(FaultSpec(byzantine="equivocator"),),
+        networks=tuple(
+            NetworkSpec(gst=gst, pre_gst_delay_prob=0.85, round_duration=ROUND)
+            for gst in gsts
+        ),
+        repetitions=5,
+        seed=11,
+        max_phases=40,
+    )
+    rows = run_campaign(spec, workers=2)
+    assert all(row["status"] == "ok" for row in rows)
+    assert all(row["agreement"] and row["termination"] for row in rows)
+    summaries = summarize(rows, group_keys=("network",))
+    by_network = {summary.key[0]: summary for summary in summaries}
+    times = [
+        by_network[network.describe()].mean_latency for network in spec.networks
+    ]
+    report(f"PBFT mean decision time vs GST {gsts}: {times}")
     assert times[0] < times[1] < times[2]
     # After the GST at most a few phases pass before deciding.
     assert times[2] < 30.0 + 6 * 3 * ROUND

@@ -5,12 +5,24 @@ Table-1 bound must survive the full adversarial battery; configurations at
 or below the bound must be rejected by the constraint checker.  This is the
 constructive reproduction of the paper's headline (FaB n > 5b, MQB n > 4b,
 PBFT n > 3b) and of MQB's existence claim.
+
+The grid runs on the campaign engine (``repro.campaigns``): the sweep is a
+declarative :class:`CampaignSpec`, below-bound cells come back as
+``inadmissible`` rows, and the printed table is the campaign's aggregated
+per-cell report.
 """
 
 import pytest
 
-from repro.analysis.reporting import format_table
 from repro.analysis.resilience import sweep_class
+from repro.campaigns import (
+    CampaignSpec,
+    FaultSpec,
+    format_report,
+    run_campaign,
+    summarize,
+)
+from repro.campaigns.presets import BYZANTINE_SCENARIOS
 from repro.core.classification import AlgorithmClass
 from repro.core.types import FaultModel
 
@@ -21,40 +33,37 @@ BOUND_FACTOR = {
 }
 
 
+def sweep_campaign(cls: AlgorithmClass, b: int) -> CampaignSpec:
+    factor = BOUND_FACTOR[cls]
+    return CampaignSpec(
+        name=f"resilience-class{cls.value}-b{b}",
+        algorithms=(f"class-{cls.value}",),
+        models=tuple(
+            (n, b, 0)
+            for n in range(max(b + 1, factor * b - 1), factor * b + 3)
+        ),
+        faults=tuple(FaultSpec(byzantine=name) for name in BYZANTINE_SCENARIOS),
+        max_phases=8,
+    )
+
+
 @pytest.mark.parametrize("cls", list(AlgorithmClass))
 @pytest.mark.parametrize("b", [1, 2])
 def test_sweep(cls, b, report):
     factor = BOUND_FACTOR[cls]
-    configurations = [
-        FaultModel(n, b, 0) for n in range(max(b + 1, factor * b - 1), factor * b + 3)
-    ]
-    rows = sweep_class(cls, configurations, max_phases=8)
-    table = [
-        [
-            row.n,
-            row.b,
-            row.scenario,
-            "yes" if row.admitted else "NO",
-            row.agreement,
-            row.termination,
-            row.phases,
-        ]
-        for row in rows
-    ]
+    rows = run_campaign(sweep_campaign(cls, b))
     report(
         f"{cls.name}, b={b} (bound n > {factor}b):\n"
-        + format_table(
-            ["n", "b", "scenario", "admitted", "agreement", "termination", "phases"],
-            table,
-        )
+        + format_report(summarize(rows))
     )
     for row in rows:
-        if row.n > factor * b:
-            assert row.admitted, f"n={row.n} should be admitted"
-            assert row.agreement, f"n={row.n} {row.scenario}: agreement broke"
-            assert row.termination, f"n={row.n} {row.scenario}: stuck"
+        cell = f"n={row['n']} {row['fault']}"
+        if row["n"] > factor * b:
+            assert row["status"] == "ok", f"{cell} should be admitted"
+            assert row["agreement"], f"{cell}: agreement broke"
+            assert row["termination"], f"{cell}: stuck"
         else:
-            assert not row.admitted, f"n={row.n} should be rejected"
+            assert row["status"] == "inadmissible", f"{cell} should be rejected"
 
 
 def test_mqb_exists_exactly_in_the_gap(benchmark):

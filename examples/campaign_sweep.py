@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Campaign engine tour: declare a grid, run it in parallel, aggregate.
+
+Run:  PYTHONPATH=src python examples/campaign_sweep.py
+"""
+
+from repro.campaigns import (
+    BUILTIN_CAMPAIGNS,
+    CampaignSpec,
+    FaultSpec,
+    NetworkSpec,
+    format_report,
+    run_campaign,
+    summarize,
+    write_rows,
+)
+
+
+def main():
+    # 1. Declare a sweep: every axis below is crossed into a grid.
+    spec = CampaignSpec(
+        name="frontier-tour",
+        algorithms=("pbft", "mqb", "fab-paxos"),
+        models=((4, 1, 0), (5, 1, 0), (6, 1, 0)),
+        engines=("lockstep", "timed"),
+        faults=(FaultSpec(), FaultSpec(byzantine="equivocator")),
+        networks=(NetworkSpec(gst=5.0, pre_gst_delay_prob=0.6),),
+        repetitions=3,
+        seed=2026,
+    )
+    print(f"campaign {spec.name!r}: {spec.total_runs} runs")
+
+    # 2. Execute on a process pool.  Per-run seeds are derived from the
+    #    campaign seed and each run's coordinates, so any worker count
+    #    produces byte-identical results.
+    rows = run_campaign(spec, workers=4)
+    path = write_rows("frontier-tour.results.jsonl", rows)
+    print(f"wrote {len(rows)} rows to {path}\n")
+
+    # 3. Aggregate: per-(algorithm, n, b, f, engine, fault) summaries.
+    #    Below-bound cells (fab-paxos at n=4, mqb at n=4, ...) show up as
+    #    `inadm` instead of executing.
+    print(format_report(summarize(rows)))
+
+    # 4. The same machinery powers the built-in paper campaigns:
+    print("\nbuilt-ins:", ", ".join(sorted(BUILTIN_CAMPAIGNS)))
+
+
+if __name__ == "__main__":
+    main()

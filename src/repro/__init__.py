@@ -17,6 +17,20 @@ Quickstart::
     outcome = run_consensus(params, {0: "A", 2: "B", 3: "A"},
                             byzantine={1: "equivocator"})
     print(outcome.decisions)
+
+Campaigns
+---------
+
+:mod:`repro.campaigns` scales single runs into declarative scenario
+sweeps: a :class:`~repro.campaigns.CampaignSpec` crosses algorithms,
+``(n, b, f)`` models, fault scripts, network conditions, engines and
+repetitions into a grid; :func:`~repro.campaigns.run_campaign` executes it
+on a process pool with per-run fault isolation and coordinate-derived
+seeds (byte-identical results at any worker count); results persist as
+JSONL rows and aggregate into per-cell latency / message-complexity
+summaries.  From the shell: ``python -m repro.cli campaign run grid-demo
+--workers 4`` then ``python -m repro.cli campaign report
+grid-demo.results.jsonl``.
 """
 
 from repro.core import (

@@ -7,6 +7,7 @@ from repro.analysis.invariants import (
     check_termination,
     check_unanimity,
     check_validity,
+    evaluate_properties,
 )
 from repro.analysis.metrics import RunMetrics
 from repro.analysis.trace import ExecutionTrace, RoundRecord
@@ -21,4 +22,5 @@ __all__ = [
     "check_termination",
     "check_unanimity",
     "check_validity",
+    "evaluate_properties",
 ]

@@ -103,6 +103,44 @@ def check_integrity(decision_events: list[Decision]) -> None:
         seen.add(event.process)
 
 
+def evaluate_properties(
+    *,
+    decided_values: Mapping[ProcessId, Value],
+    initial_values: Mapping[ProcessId, Value],
+    byzantine: AbstractSet[ProcessId],
+    correct: AbstractSet[ProcessId],
+) -> Mapping[str, bool]:
+    """Boolean summary of the Section 2.3 properties for one finished run.
+
+    Engine-agnostic: both the lockstep ``ConsensusOutcome`` and the timed
+    ``TimedOutcome`` reduce to these four mappings, so campaign rows carry
+    identical property columns regardless of the engine that produced them.
+    """
+    values = set(decided_values.values())
+    if byzantine:
+        validity = True
+    else:
+        validity = values <= set(initial_values.values())
+    honest_proposals = {
+        value for pid, value in initial_values.items() if pid not in byzantine
+    }
+    if len(honest_proposals) == 1:
+        (common,) = honest_proposals
+        unanimity = all(
+            value == common
+            for pid, value in decided_values.items()
+            if pid not in byzantine
+        )
+    else:
+        unanimity = True
+    return {
+        "agreement": len(values) <= 1,
+        "validity": validity,
+        "unanimity": unanimity,
+        "termination": set(correct) <= set(decided_values),
+    }
+
+
 def holds(checker, *args, **kwargs) -> bool:
     """Boolean wrapper: True iff ``checker(*args)`` does not raise."""
     try:

@@ -36,6 +36,26 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_float(value: object, digits: int = 2) -> str:
+    """Render an optional float for a table cell (``-`` for missing).
+
+    >>> format_float(1.2345), format_float(None), format_float(7)
+    ('1.23', '-', '7.00')
+    """
+    if value is None:
+        return "-"
+    return f"{float(value):.{digits}f}"
+
+
+def format_rate(numerator: int, denominator: int) -> str:
+    """Render ``numerator/denominator`` as a compact ratio cell.
+
+    >>> format_rate(3, 4), format_rate(0, 0)
+    ('3/4', '0/0')
+    """
+    return f"{numerator}/{denominator}"
+
+
 def format_kv_block(title: str, pairs: Iterable[tuple]) -> str:
     """A titled key/value block used in bench stdout summaries."""
     lines = [title, "=" * len(title)]

@@ -1,0 +1,73 @@
+"""Declarative scenario sweeps: spec → parallel runner → result store.
+
+The campaign engine turns one declarative :class:`CampaignSpec` — a
+cross-product grid over algorithms, ``(n, b, f)`` resilience points, fault
+scripts, network conditions, engines and repetitions — into per-run
+:class:`RunSpec`\\ s with deterministically derived seeds, executes them
+(inline or on a process pool) with per-run fault isolation, persists one
+JSONL row per run, and aggregates per-cell summaries::
+
+    from repro.campaigns import CampaignSpec, FaultSpec, run_campaign
+    from repro.campaigns import summarize, format_report
+
+    spec = CampaignSpec(
+        name="pbft-frontier",
+        algorithms=("pbft",),
+        models=((4, 1, 0), (5, 1, 0)),
+        faults=(FaultSpec(), FaultSpec(byzantine="equivocator")),
+        repetitions=3,
+    )
+    rows = run_campaign(spec, workers=4)
+    print(format_report(summarize(rows)))
+
+The same campaign seed yields byte-identical results at any worker count.
+"""
+
+from repro.campaigns.aggregate import (
+    DEFAULT_GROUP_KEYS,
+    CellSummary,
+    format_report,
+    percentile,
+    summarize,
+)
+from repro.campaigns.presets import BUILTIN_CAMPAIGNS
+from repro.campaigns.results import (
+    ResultStore,
+    read_rows,
+    row_to_json,
+    rows_to_jsonl,
+    write_rows,
+)
+from repro.campaigns.runner import execute_run, run_campaign
+from repro.campaigns.spec import (
+    CampaignSpec,
+    FaultSpec,
+    NetworkSpec,
+    RunSpec,
+    derive_seed,
+    load_spec,
+    resolve_algorithm,
+)
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignSpec",
+    "CellSummary",
+    "DEFAULT_GROUP_KEYS",
+    "FaultSpec",
+    "NetworkSpec",
+    "ResultStore",
+    "RunSpec",
+    "derive_seed",
+    "execute_run",
+    "format_report",
+    "load_spec",
+    "percentile",
+    "read_rows",
+    "resolve_algorithm",
+    "row_to_json",
+    "rows_to_jsonl",
+    "run_campaign",
+    "summarize",
+    "write_rows",
+]

@@ -1,0 +1,165 @@
+"""Grouped summaries over campaign result rows.
+
+:func:`summarize` folds JSONL rows into per-cell :class:`CellSummary`
+records — grouped by ``(algorithm, n, b, f, engine, fault)`` by default —
+with latency percentiles (timed runs), phase/message means (lockstep runs)
+and property-violation counts.  :func:`format_report` renders the familiar
+monospace table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_float, format_rate, format_table
+
+Row = Dict[str, object]
+
+DEFAULT_GROUP_KEYS: Tuple[str, ...] = (
+    "algorithm", "n", "b", "f", "engine", "fault",
+)
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Linear-interpolation percentile (``q`` in [0, 1]); None when empty."""
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    position = (len(ordered) - 1) * q
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * (position - lower)
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Aggregates for one group of rows (one cell of the report)."""
+
+    key: Tuple[object, ...]
+    runs: int
+    ok: int
+    errors: int
+    inadmissible: int
+    inapplicable: int
+    agreement_violations: int
+    validity_violations: int
+    unanimity_violations: int
+    termination_failures: int
+
+    @property
+    def safety_violations(self) -> int:
+        """Violations of any safety property (agreement/validity/unanimity)."""
+        return (
+            self.agreement_violations
+            + self.validity_violations
+            + self.unanimity_violations
+        )
+    mean_phases: Optional[float]
+    mean_messages: Optional[float]
+    mean_latency: Optional[float]
+    p50_latency: Optional[float]
+    p99_latency: Optional[float]
+
+
+def summarize(
+    rows: Sequence[Row],
+    group_keys: Sequence[str] = DEFAULT_GROUP_KEYS,
+) -> List[CellSummary]:
+    """Fold rows into per-cell summaries, ordered by group key."""
+    groups: Dict[Tuple[object, ...], List[Row]] = {}
+    for row in rows:
+        key = tuple(row.get(field) for field in group_keys)
+        groups.setdefault(key, []).append(row)
+
+    summaries: List[CellSummary] = []
+    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+        cell = groups[key]
+        ok_rows = [row for row in cell if row.get("status") == "ok"]
+        latencies = [
+            float(row["time_to_decision"])
+            for row in ok_rows
+            if row.get("time_to_decision") is not None
+        ]
+        phases = [
+            float(row["phases"])
+            for row in ok_rows
+            if row.get("phases") is not None
+        ]
+        messages = [
+            float(row["messages_sent"])
+            for row in ok_rows
+            if row.get("messages_sent") is not None
+        ]
+        summaries.append(
+            CellSummary(
+                key=key,
+                runs=len(cell),
+                ok=len(ok_rows),
+                errors=sum(1 for row in cell if row.get("status") == "error"),
+                inadmissible=sum(
+                    1 for row in cell if row.get("status") == "inadmissible"
+                ),
+                inapplicable=sum(
+                    1 for row in cell if row.get("status") == "inapplicable"
+                ),
+                agreement_violations=sum(
+                    1 for row in ok_rows if row.get("agreement") is False
+                ),
+                validity_violations=sum(
+                    1 for row in ok_rows if row.get("validity") is False
+                ),
+                unanimity_violations=sum(
+                    1 for row in ok_rows if row.get("unanimity") is False
+                ),
+                termination_failures=sum(
+                    1 for row in ok_rows if row.get("termination") is False
+                ),
+                mean_phases=_mean(phases),
+                mean_messages=_mean(messages),
+                mean_latency=_mean(latencies),
+                p50_latency=percentile(latencies, 0.50),
+                p99_latency=percentile(latencies, 0.99),
+            )
+        )
+    return summaries
+
+
+def format_report(
+    summaries: Sequence[CellSummary],
+    group_keys: Sequence[str] = DEFAULT_GROUP_KEYS,
+) -> str:
+    """Render per-cell summaries as an aligned monospace table."""
+    headers = [
+        *group_keys,
+        "runs", "ok", "err", "inadm", "safety-viol", "term-fail",
+        "phases", "msgs", "ttd-mean", "ttd-p50", "ttd-p99",
+    ]
+    table = []
+    for summary in summaries:
+        table.append(
+            [
+                *summary.key,
+                summary.runs,
+                summary.ok,
+                summary.errors,
+                summary.inadmissible + summary.inapplicable,
+                format_rate(summary.safety_violations, summary.ok),
+                format_rate(summary.termination_failures, summary.ok),
+                format_float(summary.mean_phases),
+                format_float(summary.mean_messages, 1),
+                format_float(summary.mean_latency),
+                format_float(summary.p50_latency),
+                format_float(summary.p99_latency),
+            ]
+        )
+    return format_table(headers, table)

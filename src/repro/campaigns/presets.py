@@ -1,0 +1,93 @@
+"""Built-in named campaigns reproducing the paper's tables and figures.
+
+Each preset is a :class:`~repro.campaigns.spec.CampaignSpec` runnable as
+``repro campaign run <name>``:
+
+* ``table1`` — every named algorithm crossed with every class-minimal
+  model: admitted exactly on its own Table-1 row, ``inadmissible``
+  elsewhere;
+* ``fig1-flv-class1`` / ``fig2-flv-class2`` / ``fig3-flv-class3`` — the
+  per-class resilience sweeps over ``n`` for ``b = 1`` under the Byzantine
+  scenario battery (the constructive FaB ``n > 5b`` / MQB ``n > 4b`` /
+  PBFT ``n > 3b`` frontiers);
+* ``latency-gst`` — the timed-engine GST sensitivity curve (decision time
+  tracks the global stabilization time);
+* ``grid-demo`` — a fast ≥ 100-run mixed lockstep/timed grid used by the
+  acceptance check and the quickstart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.resilience import DEFAULT_BYZANTINE_SCENARIOS
+from repro.campaigns.spec import CampaignSpec, FaultSpec, NetworkSpec
+
+#: The adversarial battery used by the per-class figure sweeps — the same
+#: battery :func:`repro.analysis.resilience.sweep_class` runs, so the two
+#: sweep harnesses cannot drift apart.
+BYZANTINE_SCENARIOS: Tuple[str, ...] = tuple(DEFAULT_BYZANTINE_SCENARIOS)
+
+
+def _byz(*names: str) -> Tuple[FaultSpec, ...]:
+    return tuple(FaultSpec(byzantine=name) for name in names)
+
+
+BUILTIN_CAMPAIGNS: Dict[str, CampaignSpec] = {
+    "table1": CampaignSpec(
+        name="table1",
+        algorithms=(
+            "one-third-rule", "fab-paxos", "mqb",
+            "paxos", "chandra-toueg", "pbft",
+        ),
+        models=((4, 0, 1), (6, 1, 0), (5, 1, 0), (3, 0, 1), (4, 1, 0)),
+        faults=(FaultSpec(), FaultSpec(byzantine="equivocator"),
+                FaultSpec(crashes=-1)),
+        max_phases=12,
+    ),
+    "fig1-flv-class1": CampaignSpec(
+        name="fig1-flv-class1",
+        algorithms=("class-1",),
+        models=tuple((n, 1, 0) for n in range(4, 10)),
+        faults=_byz(*BYZANTINE_SCENARIOS),
+        max_phases=8,
+    ),
+    "fig2-flv-class2": CampaignSpec(
+        name="fig2-flv-class2",
+        algorithms=("class-2",),
+        models=tuple((n, 1, 0) for n in range(3, 9)),
+        faults=_byz(*BYZANTINE_SCENARIOS),
+        max_phases=8,
+    ),
+    "fig3-flv-class3": CampaignSpec(
+        name="fig3-flv-class3",
+        algorithms=("class-3",),
+        models=tuple((n, 1, 0) for n in range(2, 8)),
+        faults=_byz(*BYZANTINE_SCENARIOS),
+        max_phases=8,
+    ),
+    "latency-gst": CampaignSpec(
+        name="latency-gst",
+        algorithms=("pbft",),
+        models=((4, 1, 0),),
+        engines=("timed",),
+        faults=(FaultSpec(byzantine="equivocator"),),
+        networks=tuple(
+            NetworkSpec(gst=gst, pre_gst_delay_prob=0.85)
+            for gst in (0.0, 10.0, 20.0, 30.0)
+        ),
+        repetitions=5,
+        seed=11,
+        max_phases=40,
+    ),
+    "grid-demo": CampaignSpec(
+        name="grid-demo",
+        algorithms=("class-1", "class-2", "class-3"),
+        models=((4, 1, 0), (5, 1, 0), (6, 1, 0)),
+        engines=("lockstep", "timed"),
+        faults=(FaultSpec(), FaultSpec(byzantine="equivocator"),
+                FaultSpec(byzantine="silent")),
+        repetitions=2,
+        max_phases=10,
+    ),
+}

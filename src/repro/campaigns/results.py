@@ -1,0 +1,73 @@
+"""JSONL result store: one canonical JSON row per campaign run.
+
+Rows are serialized with sorted keys and compact separators, so the file a
+campaign writes is *byte-identical* for equal row lists — the property the
+``--workers N`` determinism guarantee is checked against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+Row = Dict[str, object]
+
+
+def row_to_json(row: Row) -> str:
+    """Canonical single-line JSON for one row."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def rows_to_jsonl(rows: Iterable[Row]) -> str:
+    """Canonical JSONL document (trailing newline, empty for no rows)."""
+    lines = [row_to_json(row) for row in rows]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_rows(path: object, rows: Iterable[Row]) -> Path:
+    """Write rows as canonical JSONL, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rows_to_jsonl(rows), encoding="utf-8")
+    return target
+
+
+def read_rows(path: object) -> List[Row]:
+    """Load a JSONL result file (blank lines are ignored)."""
+    rows: List[Row] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSONL ({exc})"
+                ) from exc
+    return rows
+
+
+class ResultStore:
+    """An append-friendly JSONL store bound to one path.
+
+    ``append`` streams rows out as a campaign progresses (crash-safe:
+    completed rows survive an interrupted campaign); ``write`` replaces the
+    file with a canonical snapshot.
+    """
+
+    def __init__(self, path: object) -> None:
+        self.path = Path(path)
+
+    def append(self, row: Row) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(row_to_json(row) + "\n")
+
+    def write(self, rows: Iterable[Row]) -> Path:
+        return write_rows(self.path, rows)
+
+    def load(self) -> List[Row]:
+        return read_rows(self.path)

@@ -1,0 +1,227 @@
+"""Parallel campaign runner: expand, dispatch, isolate, collect.
+
+:func:`execute_run` turns one :class:`~repro.campaigns.spec.RunSpec` into a
+plain result-row dict and **never raises**: a crashing scenario produces a
+``status="error"`` row (with the exception) instead of killing the campaign,
+a model outside the algorithm's resilience bound an ``inadmissible`` row,
+and a fault script the configuration cannot host an ``inapplicable`` row.
+
+:func:`run_campaign` executes the grid either inline (``workers=1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor` with chunked dispatch.
+Because every run's seed is derived from its coordinates, the collected rows
+are identical for every worker count (rows are ordered by ``run_id``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.invariants import evaluate_properties
+from repro.analysis.metrics import RunMetrics
+from repro.campaigns.spec import CampaignSpec, RunSpec, resolve_algorithm
+from repro.core.run import run_consensus
+from repro.core.types import FaultModel
+from repro.eventsim.runtime import run_timed_consensus
+from repro.faults.crash import CrashEvent, CrashSchedule
+
+#: Result-row type: one flat JSON-serializable mapping per run.
+Row = Dict[str, object]
+
+#: Called after each completed run with ``(completed, total)``.
+ProgressFn = Callable[[int, int], None]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_INADMISSIBLE = "inadmissible"
+STATUS_INAPPLICABLE = "inapplicable"
+
+
+def _base_row(run: RunSpec) -> Row:
+    return {
+        "campaign": run.campaign,
+        "run_id": run.run_id,
+        "algorithm": run.algorithm,
+        "n": run.n,
+        "b": run.b,
+        "f": run.f,
+        "engine": run.engine,
+        "fault": run.fault.describe(),
+        "network": run.network.describe(),
+        "rep": run.rep,
+        "seed": run.seed,
+        "status": STATUS_OK,
+        "agreement": None,
+        "validity": None,
+        "unanimity": None,
+        "termination": None,
+        "decided": None,
+        "rounds": None,
+        "phases": None,
+        "time_to_decision": None,
+        "messages_sent": None,
+        "messages_delivered": None,
+        "messages_dropped": None,
+        "error": None,
+    }
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _inapplicable(run: RunSpec, model: FaultModel) -> Optional[str]:
+    """Why this fault script cannot run under this configuration, if so."""
+    fault = run.fault
+    if fault.byzantine and model.b == 0:
+        return "byzantine fault script but model has b = 0"
+    crashes = fault.crash_count(model)
+    if crashes > model.f:
+        return f"fault script crashes {crashes} > f = {model.f} processes"
+    if crashes and run.engine == "timed":
+        return "timed engine has no crash schedule"
+    return None
+
+
+def execute_run(run: RunSpec) -> Row:
+    """Execute one grid cell, returning its result row (never raises)."""
+    row = _base_row(run)
+    try:
+        model = FaultModel(run.n, run.b, run.f)
+    except ValueError as exc:
+        row.update(status=STATUS_INADMISSIBLE, error=str(exc))
+        return row
+    try:
+        parameters, config = resolve_algorithm(run.algorithm, model)
+    except ValueError as exc:
+        # ParameterError (a ValueError) ⇒ the bound rejects this model.
+        row.update(status=STATUS_INADMISSIBLE, error=str(exc))
+        return row
+    except Exception as exc:
+        row.update(status=STATUS_ERROR, error=_describe_error(exc))
+        return row
+
+    # Builders resolve their own envelope (benign ones ignore ``b``,
+    # Byzantine ones ignore ``f``): a grid point asking for more faults
+    # than the algorithm hosts is outside its Table-1 row.
+    hosted = parameters.model
+    if hosted.b < model.b or hosted.f < model.f:
+        row.update(
+            status=STATUS_INADMISSIBLE,
+            error=(
+                f"{run.algorithm} hosts (b={hosted.b}, f={hosted.f}), "
+                f"grid point wants (b={model.b}, f={model.f})"
+            ),
+        )
+        return row
+
+    reason = _inapplicable(run, model)
+    if reason is not None:
+        row.update(status=STATUS_INAPPLICABLE, error=reason)
+        return row
+
+    fault = run.fault
+    byzantine: Dict[int, str] = {}
+    if fault.byzantine:
+        byzantine = {model.n - 1 - i: fault.byzantine for i in range(model.b)}
+    initial_values = {
+        pid: f"v{pid % 2}" for pid in model.processes if pid not in byzantine
+    }
+
+    try:
+        if run.engine == "lockstep":
+            crashes = fault.crash_count(model)
+            schedule = None
+            if crashes:
+                deliver = None if fault.clean else frozenset()
+                schedule = CrashSchedule(
+                    model,
+                    [
+                        CrashEvent(pid, fault.crash_round, deliver)
+                        for pid in range(crashes)
+                    ],
+                )
+            outcome = run_consensus(
+                parameters,
+                initial_values,
+                config=config,
+                byzantine=byzantine,
+                crash_schedule=schedule,
+                max_phases=run.max_phases,
+            )
+            metrics = RunMetrics.from_outcome(outcome)
+            row.update(
+                decided=len(outcome.decisions),
+                rounds=metrics.rounds_executed,
+                phases=metrics.phases_to_last_decision,
+                messages_sent=metrics.messages_sent,
+                messages_delivered=metrics.messages_delivered,
+                messages_dropped=0,
+                **outcome.invariant_report(),
+            )
+        else:
+            # build(run.seed) already gives the network its per-run RNG
+            # stream, so no explicit seed= reseed is needed here.
+            network = run.network.build(run.seed)
+            timed = run_timed_consensus(
+                parameters,
+                initial_values,
+                network,
+                round_duration=run.network.round_duration,
+                config=config,
+                byzantine=byzantine,
+                max_phases=run.max_phases,
+            )
+            correct = frozenset(
+                pid for pid in model.processes if pid not in byzantine
+            )
+            row.update(
+                decided=len(timed.decision_times),
+                rounds=timed.rounds_executed,
+                time_to_decision=timed.last_decision_time,
+                messages_sent=timed.messages_sent,
+                messages_delivered=timed.messages_delivered,
+                messages_dropped=timed.messages_dropped,
+                **evaluate_properties(
+                    decided_values=timed.decided_values,
+                    initial_values=initial_values,
+                    byzantine=frozenset(byzantine),
+                    correct=correct,
+                ),
+            )
+    except Exception as exc:
+        row.update(status=STATUS_ERROR, error=_describe_error(exc))
+    return row
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[Row]:
+    """Execute every run of ``spec`` and return rows ordered by ``run_id``.
+
+    With ``workers > 1`` runs are dispatched in chunks to a process pool;
+    per-run seeds make the result independent of the worker count.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be ≥ 1, got {workers}")
+    runs = spec.expand()
+    total = len(runs)
+    rows: List[Row] = []
+    if workers == 1 or total <= 1:
+        for completed, run in enumerate(runs, start=1):
+            rows.append(execute_run(run))
+            if progress is not None:
+                progress(completed, total)
+    else:
+        chunksize = max(1, total // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            iterator = pool.map(execute_run, runs, chunksize=chunksize)
+            for completed, row in enumerate(iterator, start=1):
+                rows.append(row)
+                if progress is not None:
+                    progress(completed, total)
+    rows.sort(key=lambda row: row["run_id"])
+    return rows

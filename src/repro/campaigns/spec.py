@@ -1,0 +1,355 @@
+"""Declarative scenario sweeps: a campaign is a cross-product grid.
+
+A :class:`CampaignSpec` names the axes of an experiment — algorithms (builder
+names or ``class-N`` FLV classes), ``(n, b, f)`` resilience points, fault
+scripts, network conditions, engines, repetitions — and :meth:`expand`\\ s
+them into fully-resolved :class:`RunSpec` objects, one per run.  Each run's
+seed is derived deterministically from the campaign seed and the run's
+*coordinates* (not its position in the expansion), so results are
+reproducible regardless of worker count or axis ordering.
+
+Specs round-trip through plain mappings (:meth:`CampaignSpec.to_mapping` /
+:meth:`CampaignSpec.from_mapping`) and load from ``.json`` or ``.toml``
+files via :func:`load_spec`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import itertools
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
+from repro.core.types import FaultModel
+from repro.eventsim.network import (
+    FixedLatency,
+    PartialSynchronyNetwork,
+    UniformLatency,
+)
+
+#: Execution engines a campaign may select per run.
+ENGINES = ("lockstep", "timed")
+
+#: FLV-class pseudo-algorithms accepted alongside builder names.
+CLASS_ALGORITHMS = ("class-1", "class-2", "class-3")
+
+
+def derive_seed(campaign_seed: int, key: str) -> int:
+    """A 63-bit per-run seed from the campaign seed and a coordinate key.
+
+    Uses BLAKE2b (not :func:`hash`, which is salted per interpreter) so the
+    derivation is stable across processes, Python versions and worker
+    counts.
+    """
+    digest = hashlib.blake2b(
+        f"{campaign_seed}:{key}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Network conditions for timed runs (ignored by the lockstep engine).
+
+    ``kind`` selects the latency model: ``"uniform"`` samples in
+    ``[low, high]``; ``"fixed"`` always takes ``low``.  The remaining fields
+    mirror :class:`~repro.eventsim.network.PartialSynchronyNetwork`.
+    """
+
+    kind: str = "uniform"
+    low: float = 0.5
+    high: float = 2.0
+    gst: float = 0.0
+    delta: float = 2.0
+    pre_gst_delay_prob: float = 0.5
+    chaos_factor: float = 50.0
+    round_duration: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "fixed"):
+            raise ValueError(f"unknown latency kind {self.kind!r}")
+        if self.round_duration <= 0:
+            raise ValueError("round_duration must be positive")
+
+    def build(self, seed: int) -> PartialSynchronyNetwork:
+        """Instantiate the timed network with a per-run RNG stream."""
+        if self.kind == "fixed":
+            latency = FixedLatency(self.low)
+        else:
+            latency = UniformLatency(self.low, self.high)
+        return PartialSynchronyNetwork(
+            latency,
+            gst=self.gst,
+            delta=self.delta,
+            pre_gst_delay_prob=self.pre_gst_delay_prob,
+            chaos_factor=self.chaos_factor,
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        # Every field appears: two distinct specs must never alias, or they
+        # would share derived seeds and merge into one aggregation cell.
+        if self.kind == "fixed":
+            base = f"fixed[{self.low:g}]"
+        else:
+            base = f"uniform[{self.low:g},{self.high:g}]"
+        return (
+            f"{base} gst={self.gst:g} δ={self.delta:g} "
+            f"Δ={self.round_duration:g} p={self.pre_gst_delay_prob:g} "
+            f"chaos={self.chaos_factor:g}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault script applied uniformly to a run.
+
+    ``byzantine`` names a strategy given to the last ``b`` process ids (the
+    convention the CLI and sweeps already use).  ``crashes`` crashes the
+    first that-many processes in ``crash_round`` (``-1`` means "all f");
+    ``clean`` selects crash-after-send vs crash-before-send semantics.
+    """
+
+    byzantine: Optional[str] = None
+    crashes: int = 0
+    crash_round: int = 1
+    clean: bool = True
+
+    def __post_init__(self) -> None:
+        if self.crashes < -1:
+            raise ValueError(f"crashes must be ≥ -1, got {self.crashes}")
+        if self.crash_round < 1:
+            raise ValueError(f"crash_round must be ≥ 1, got {self.crash_round}")
+
+    def crash_count(self, model: FaultModel) -> int:
+        """The number of processes this script crashes under ``model``."""
+        return model.f if self.crashes == -1 else self.crashes
+
+    def describe(self) -> str:
+        parts = []
+        if self.byzantine:
+            parts.append(f"byz:{self.byzantine}")
+        if self.crashes:
+            count = "f" if self.crashes == -1 else str(self.crashes)
+            mode = "" if self.clean else "!"
+            parts.append(f"crash{mode}:{count}@{self.crash_round}")
+        return "+".join(parts) or "fault-free"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved cell of the campaign grid."""
+
+    campaign: str
+    run_id: int
+    algorithm: str
+    n: int
+    b: int
+    f: int
+    engine: str
+    fault: FaultSpec
+    network: NetworkSpec
+    rep: int
+    seed: int
+    max_phases: int
+
+    def key(self) -> str:
+        """Stable coordinate string (the seed-derivation input)."""
+        return "|".join(
+            (
+                self.algorithm,
+                f"n{self.n}b{self.b}f{self.f}",
+                self.engine,
+                self.fault.describe(),
+                self.network.describe(),
+                f"rep{self.rep}",
+            )
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep: the cross product of every axis below."""
+
+    name: str
+    algorithms: Tuple[str, ...]
+    models: Tuple[Tuple[int, int, int], ...]
+    engines: Tuple[str, ...] = ("lockstep",)
+    faults: Tuple[FaultSpec, ...] = (FaultSpec(),)
+    networks: Tuple[NetworkSpec, ...] = (NetworkSpec(),)
+    repetitions: int = 1
+    seed: int = 0
+    max_phases: int = 15
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        for axis in ("algorithms", "models", "engines", "faults", "networks"):
+            if not getattr(self, axis):
+                raise ValueError(f"axis {axis!r} must be non-empty")
+        for engine in self.engines:
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; known: {ENGINES}"
+                )
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be ≥ 1")
+        if self.max_phases < 1:
+            raise ValueError("max_phases must be ≥ 1")
+
+    @property
+    def total_runs(self) -> int:
+        return (
+            len(self.algorithms)
+            * len(self.models)
+            * len(self.engines)
+            * len(self.faults)
+            * len(self.networks)
+            * self.repetitions
+        )
+
+    def expand(self) -> List[RunSpec]:
+        """The full grid, in deterministic axis order with derived seeds."""
+        runs: List[RunSpec] = []
+        grid = itertools.product(
+            self.algorithms,
+            self.models,
+            self.engines,
+            self.faults,
+            self.networks,
+            range(self.repetitions),
+        )
+        for run_id, (algorithm, (n, b, f), engine, fault, network, rep) in (
+            enumerate(grid)
+        ):
+            run = RunSpec(
+                campaign=self.name,
+                run_id=run_id,
+                algorithm=algorithm,
+                n=n,
+                b=b,
+                f=f,
+                engine=engine,
+                fault=fault,
+                network=network,
+                rep=rep,
+                seed=0,
+                max_phases=self.max_phases,
+            )
+            runs.append(replace(run, seed=derive_seed(self.seed, run.key())))
+        return runs
+
+    def to_mapping(self) -> Dict[str, object]:
+        """A JSON/TOML-friendly mapping (inverse of :meth:`from_mapping`)."""
+        return {
+            "name": self.name,
+            "algorithms": list(self.algorithms),
+            "models": [list(model) for model in self.models],
+            "engines": list(self.engines),
+            "faults": [asdict(fault) for fault in self.faults],
+            "networks": [asdict(network) for network in self.networks],
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "max_phases": self.max_phases,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "CampaignSpec":
+        data = dict(mapping)
+        unknown = set(data) - {
+            "name", "algorithms", "models", "engines", "faults",
+            "networks", "repetitions", "seed", "max_phases",
+        }
+        if unknown:
+            raise ValueError(f"unknown campaign keys: {sorted(unknown)}")
+        kwargs: Dict[str, object] = {
+            "name": data.get("name", "campaign"),
+            "algorithms": tuple(data.get("algorithms", ())),
+            "models": tuple(
+                tuple(int(x) for x in model) for model in data.get("models", ())
+            ),
+        }
+        if "engines" in data:
+            kwargs["engines"] = tuple(data["engines"])
+        if "faults" in data:
+            kwargs["faults"] = tuple(
+                FaultSpec(**fault) for fault in data["faults"]
+            )
+        if "networks" in data:
+            kwargs["networks"] = tuple(
+                NetworkSpec(**network) for network in data["networks"]
+            )
+        for scalar in ("repetitions", "seed", "max_phases"):
+            if scalar in data:
+                kwargs[scalar] = int(data[scalar])
+        for model in kwargs["models"]:
+            if len(model) != 3:
+                raise ValueError(f"models entries must be (n, b, f), got {model}")
+        return cls(**kwargs)
+
+
+def load_spec(path: object) -> CampaignSpec:
+    """Load a campaign spec from a ``.json`` or ``.toml`` file."""
+    spec_path = Path(path)
+    text = spec_path.read_text(encoding="utf-8")
+    if spec_path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python 3.10 fallback
+            try:
+                import tomli as tomllib  # type: ignore[no-redef]
+            except ImportError as exc:
+                raise ValueError(
+                    "TOML specs need Python ≥ 3.11 (tomllib) or tomli; "
+                    "use a .json spec instead"
+                ) from exc
+        data = tomllib.loads(text)
+    elif spec_path.suffix == ".json":
+        data = json.loads(text)
+    else:
+        raise ValueError(
+            f"unsupported spec extension {spec_path.suffix!r} (want .json/.toml)"
+        )
+    return CampaignSpec.from_mapping(data)
+
+
+def resolve_algorithm(
+    name: str, model: FaultModel
+) -> Tuple[ConsensusParameters, GenericConsensusConfig]:
+    """Parameters + per-process config for an algorithm axis value.
+
+    ``class-N`` builds the canonical Table-1 class parameters; any other
+    name goes through :data:`~repro.algorithms.registry.ALGORITHM_BUILDERS`
+    (passing the model's ``b``/``f`` to builders that accept them).  Raises
+    :class:`ValueError` (or :class:`ParameterError`) when the model violates
+    the algorithm's resilience bound — the runner records those cells as
+    ``inadmissible`` rather than executing them.
+    """
+    import repro.algorithms  # noqa: F401 - populates ALGORITHM_BUILDERS
+    from repro.algorithms.registry import ALGORITHM_BUILDERS
+
+    if name in CLASS_ALGORITHMS:
+        algorithm_class = AlgorithmClass(int(name[-1]))
+        return (
+            build_class_parameters(algorithm_class, model),
+            GenericConsensusConfig(),
+        )
+    builder = ALGORITHM_BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: "
+            f"{sorted(ALGORITHM_BUILDERS) + list(CLASS_ALGORITHMS)}"
+        )
+    accepted = inspect.signature(builder).parameters
+    kwargs: Dict[str, int] = {}
+    if "b" in accepted:
+        kwargs["b"] = model.b
+    if "f" in accepted:
+        kwargs["f"] = model.f
+    spec = builder(model.n, **kwargs)
+    return spec.parameters, spec.config

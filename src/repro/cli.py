@@ -8,12 +8,17 @@ Usage examples::
     python -m repro.cli table1
     python -m repro.cli sweep --class 2 --b 1 --n-max 8
     python -m repro.cli ben-or --n 3 --seeds 20
+    python -m repro.cli campaign list
+    python -m repro.cli campaign run grid-demo --workers 4
+    python -m repro.cli campaign run myspec.json --out results.jsonl
+    python -m repro.cli campaign report results.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.algorithms import ALGORITHM_BUILDERS
@@ -164,6 +169,121 @@ def _cmd_ben_or(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign(source: str):
+    """A campaign spec from a file path or a built-in name."""
+    from repro.campaigns import BUILTIN_CAMPAIGNS, load_spec
+
+    if source in BUILTIN_CAMPAIGNS:
+        return BUILTIN_CAMPAIGNS[source]
+    path = Path(source)
+    if path.exists():
+        try:
+            return load_spec(path)
+        except (ValueError, TypeError, OSError) as exc:
+            print(f"cannot load campaign spec {source}: {exc}", file=sys.stderr)
+            return None
+    print(
+        f"no such campaign: {source!r} is neither a spec file nor a "
+        f"built-in ({', '.join(sorted(BUILTIN_CAMPAIGNS))})",
+        file=sys.stderr,
+    )
+    return None
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from repro.campaigns import BUILTIN_CAMPAIGNS
+
+    print("Built-in campaigns:")
+    for name, spec in sorted(BUILTIN_CAMPAIGNS.items()):
+        print(f"  {name:<18} {spec.total_runs:>4} runs")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.campaigns import format_report, run_campaign, summarize, write_rows
+
+    spec = _load_campaign(args.spec)
+    if spec is None:
+        return 2
+    if args.seed is not None:
+        spec = dc_replace(spec, seed=args.seed)
+    total = spec.total_runs
+    step = max(1, total // 10)
+
+    def progress(completed: int, _total: int) -> None:
+        if not args.quiet and (completed % step == 0 or completed == _total):
+            print(f"  {completed}/{_total} runs", file=sys.stderr)
+
+    print(
+        f"campaign {spec.name!r}: {total} runs, {args.workers} worker(s), "
+        f"seed {spec.seed}",
+        file=sys.stderr,
+    )
+    rows = run_campaign(spec, workers=args.workers, progress=progress)
+    out = args.out or f"{spec.name}.results.jsonl"
+    write_rows(out, rows)
+    print(f"wrote {len(rows)} rows to {out}", file=sys.stderr)
+    if not args.no_report:
+        print(format_report(summarize(rows)))
+    errors = sum(1 for row in rows if row["status"] == "error")
+    violations = sum(
+        1
+        for row in rows
+        if any(
+            row[prop] is False for prop in ("agreement", "validity", "unanimity")
+        )
+    )
+    if errors or violations:
+        print(
+            f"{errors} error row(s), {violations} safety violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaigns import (
+        DEFAULT_GROUP_KEYS,
+        format_report,
+        read_rows,
+        summarize,
+    )
+
+    try:
+        rows = read_rows(args.results)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.results}: {exc}", file=sys.stderr)
+        return 2
+    keys = (
+        tuple(key.strip() for key in args.group_by.split(",") if key.strip())
+        if args.group_by
+        else DEFAULT_GROUP_KEYS
+    )
+    known = {field for row in rows for field in row}
+    unknown = [key for key in keys if known and key not in known]
+    if unknown:
+        print(
+            f"unknown --group-by field(s) {', '.join(unknown)}; "
+            f"row fields: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_report(summarize(rows, keys), keys))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_campaign_list,
+        "run": _cmd_campaign_run,
+        "report": _cmd_campaign_report,
+    }
+    return handlers[args.campaign_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +315,37 @@ def build_parser() -> argparse.ArgumentParser:
     ben_or.add_argument("--seeds", type=int, default=20)
     ben_or.add_argument("--max-phases", type=int, default=400)
 
+    campaign = sub.add_parser(
+        "campaign", help="declarative scenario sweeps (run/report/list)"
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    csub.add_parser("list", help="list built-in campaigns")
+
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be ≥ 1, got {value}")
+        return value
+
+    crun = csub.add_parser("run", help="expand and execute a campaign grid")
+    crun.add_argument("spec", help="spec file (.json/.toml) or built-in name")
+    crun.add_argument("--workers", type=positive_int, default=1)
+    crun.add_argument("--seed", type=int, default=None, help="override campaign seed")
+    crun.add_argument("--out", default=None, help="results JSONL path")
+    crun.add_argument("--quiet", action="store_true", help="suppress progress")
+    crun.add_argument(
+        "--no-report", action="store_true", help="skip the aggregated summary"
+    )
+
+    creport = csub.add_parser("report", help="aggregate a results JSONL file")
+    creport.add_argument("results", help="path to a results .jsonl file")
+    creport.add_argument(
+        "--group-by",
+        default=None,
+        help="comma-separated row fields (default algorithm,n,b,f,engine,fault)",
+    )
+
     return parser
 
 
@@ -206,6 +357,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": _cmd_table1,
         "sweep": _cmd_sweep,
         "ben-or": _cmd_ben_or,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

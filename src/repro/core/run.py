@@ -117,6 +117,23 @@ class ConsensusOutcome:
         initials = set(self.initial_values.values())
         return all(value in initials for value in self.decided_values)
 
+    def invariant_report(self) -> Mapping[str, bool]:
+        """Boolean summary of agreement/validity/unanimity/termination.
+
+        The campaign result store persists exactly this mapping, so every
+        JSONL row carries the same property columns as a timed run.
+        """
+        from repro.analysis.invariants import evaluate_properties
+
+        return evaluate_properties(
+            decided_values={
+                pid: decision.value for pid, decision in self.decisions.items()
+            },
+            initial_values=self.initial_values,
+            byzantine=self.result.context.byzantine,
+            correct=self.result.context.correct,
+        )
+
     def unanimity_holds(self) -> bool:
         """If all honest processes proposed the same v, only v is decided."""
         honest = [

@@ -36,6 +36,16 @@ class EventQueue:
             raise IndexError("pop from empty EventQueue")
         return heapq.heappop(self._heap)
 
+    def clear(self) -> int:
+        """Drop every pending event, returning how many were dropped.
+
+        Used by communication-closed rounds to discard late messages in one
+        O(1) step (the heap invariant need not be maintained event by event).
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped
+
     def peek_time(self) -> Optional[float]:
         return self._heap[0].time if self._heap else None
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.types import ProcessId
 
@@ -68,6 +69,7 @@ class PartialSynchronyNetwork:
         pre_gst_delay_prob: float = 0.5,
         chaos_factor: float = 50.0,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if delta <= 0:
             raise ValueError("delta must be positive")
@@ -78,6 +80,14 @@ class PartialSynchronyNetwork:
         self.delta = delta
         self._delay_prob = pre_gst_delay_prob
         self._chaos = chaos_factor
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the latency RNG to a fresh stream derived from ``seed``.
+
+        Campaign workers call this with per-run derived seeds so that no two
+        runs — and no two worker processes — ever share RNG state.
+        """
         self._rng = random.Random(seed)
 
     def transit_time(

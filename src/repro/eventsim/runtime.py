@@ -45,6 +45,8 @@ class TimedOutcome:
     simulated_time: float
     messages_sent: int
     messages_delivered: int
+    #: messages discarded because they missed their round deadline.
+    messages_dropped: int = 0
 
     @property
     def agreement_holds(self) -> bool:
@@ -73,12 +75,18 @@ def run_timed_consensus(
     config: Optional[GenericConsensusConfig] = None,
     byzantine: Optional[Mapping[ProcessId, ByzantineSpec]] = None,
     max_phases: int = 40,
+    seed: Optional[int] = None,
 ) -> TimedOutcome:
     """Run one consensus instance under the timed partial-synchrony network.
 
     ``selection_round_factor`` stretches selection rounds (to model the
-    extra micro-rounds of an implemented ``Pcons``).
+    extra micro-rounds of an implemented ``Pcons``).  A non-``None`` ``seed``
+    reseeds ``network`` before the run, making the whole timed execution a
+    pure function of its arguments — campaign workers rely on this to stay
+    deterministic without sharing any global RNG state.
     """
+    if seed is not None:
+        network.reseed(seed)
     model = parameters.model
     config = config or GenericConsensusConfig()
     byzantine = dict(byzantine or {})
@@ -103,6 +111,7 @@ def run_timed_consensus(
     decided_values: Dict[ProcessId, Value] = {}
     messages_sent = 0
     messages_delivered = 0
+    messages_dropped = 0
 
     now = 0.0
     rounds_executed = 0
@@ -131,6 +140,8 @@ def run_timed_consensus(
                 transit = network.transit_time(now, pid, dest)
                 if now + transit <= deadline or dest in ctx.byzantine:
                     queue.push(now + transit, (dest, pid, payload))
+                else:
+                    messages_dropped += 1
 
         # Deliver everything that makes the deadline.
         while queue and queue.peek_time() is not None and queue.peek_time() <= deadline:
@@ -139,8 +150,7 @@ def run_timed_consensus(
             arrivals.setdefault(dest, {})[sender] = payload
             messages_delivered += 1
         # Late messages are dropped: communication-closed rounds.
-        while queue:
-            queue.pop()
+        messages_dropped += queue.clear()
 
         for pid, process in processes.items():
             process.receive(info, arrivals.get(pid, {}))
@@ -165,4 +175,5 @@ def run_timed_consensus(
         simulated_time=now,
         messages_sent=messages_sent,
         messages_delivered=messages_delivered,
+        messages_dropped=messages_dropped,
     )

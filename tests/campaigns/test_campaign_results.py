@@ -1,0 +1,216 @@
+"""Result store round-trips, aggregation arithmetic, CLI integration."""
+
+import json
+
+import pytest
+
+from repro.campaigns.aggregate import (
+    CellSummary,
+    format_report,
+    percentile,
+    summarize,
+)
+from repro.campaigns.presets import BUILTIN_CAMPAIGNS
+from repro.campaigns.results import (
+    ResultStore,
+    read_rows,
+    rows_to_jsonl,
+    write_rows,
+)
+from repro.cli import main
+
+
+def make_row(**overrides):
+    row = {
+        "campaign": "unit", "run_id": 0, "algorithm": "pbft",
+        "n": 4, "b": 1, "f": 0, "engine": "timed", "fault": "fault-free",
+        "network": "uniform[0.5,2] gst=0 δ=2 Δ=2.5", "rep": 0, "seed": 1,
+        "status": "ok", "agreement": True, "validity": True,
+        "unanimity": True, "termination": True, "decided": 4, "rounds": 3,
+        "phases": None, "time_to_decision": 7.5, "messages_sent": 48,
+        "messages_delivered": 48, "messages_dropped": 0, "error": None,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestStore:
+    def test_write_read_round_trip(self, tmp_path):
+        rows = [make_row(run_id=i, seed=i) for i in range(5)]
+        path = tmp_path / "out" / "results.jsonl"
+        write_rows(path, rows)
+        assert read_rows(path) == rows
+
+    def test_canonical_bytes_are_stable(self, tmp_path):
+        rows = [make_row(run_id=i) for i in range(3)]
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        write_rows(first, rows)
+        write_rows(second, [dict(reversed(list(row.items()))) for row in rows])
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_append_matches_write(self, tmp_path):
+        rows = [make_row(run_id=i) for i in range(4)]
+        store = ResultStore(tmp_path / "append.jsonl")
+        for row in rows:
+            store.append(row)
+        assert store.path.read_text() == rows_to_jsonl(rows)
+        assert store.load() == rows
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok":1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_rows(path)
+
+
+class TestAggregate:
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 2.5
+        assert percentile([], 0.5) is None
+        with pytest.raises(ValueError):
+            percentile(values, 1.5)
+
+    def test_summarize_groups_and_stats(self):
+        rows = [
+            make_row(run_id=0, time_to_decision=5.0, messages_sent=40),
+            make_row(run_id=1, time_to_decision=10.0, messages_sent=60),
+            make_row(run_id=2, algorithm="mqb", status="error",
+                     agreement=None, time_to_decision=None, error="boom"),
+        ]
+        summaries = summarize(rows)
+        assert len(summaries) == 2
+        cells = {summary.key[0]: summary for summary in summaries}
+        pbft = cells["pbft"]
+        assert (pbft.runs, pbft.ok, pbft.errors) == (2, 2, 0)
+        assert pbft.mean_latency == 7.5
+        assert pbft.p50_latency == 7.5
+        assert pbft.mean_messages == 50.0
+        mqb = cells["mqb"]
+        assert (mqb.runs, mqb.ok, mqb.errors) == (1, 0, 1)
+        assert mqb.mean_latency is None
+
+    def test_violations_counted(self):
+        rows = [
+            make_row(run_id=0, agreement=False),
+            make_row(run_id=1, termination=False),
+            make_row(run_id=2, validity=False),
+            make_row(run_id=3, unanimity=False),
+        ]
+        (summary,) = summarize(rows)
+        assert summary.agreement_violations == 1
+        assert summary.validity_violations == 1
+        assert summary.unanimity_violations == 1
+        assert summary.safety_violations == 3
+        assert summary.termination_failures == 1
+
+    def test_format_report_renders(self):
+        report = format_report(summarize([make_row()]))
+        assert "ttd-p99" in report and "pbft" in report
+
+    def test_custom_group_keys(self):
+        rows = [make_row(run_id=0), make_row(run_id=1, engine="lockstep")]
+        summaries = summarize(rows, ("engine",))
+        assert [summary.key for summary in summaries] == [
+            ("lockstep",), ("timed",),
+        ]
+        assert isinstance(summaries[0], CellSummary)
+
+
+class TestCli:
+    def spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-unit",
+            "algorithms": ["pbft"],
+            "models": [[4, 1, 0]],
+            "faults": [{}, {"byzantine": "equivocator"}],
+            "repetitions": 2,
+            "seed": 5,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_campaign_run_and_report(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path)
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["campaign", "run", str(spec_path), "--out", str(out), "--quiet"]
+        )
+        assert code == 0
+        assert len(read_rows(out)) == 4
+        capsys.readouterr()
+
+        assert main(["campaign", "report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "pbft" in report and "safety-viol" in report
+
+    def test_campaign_run_workers_deterministic(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path)
+        one = tmp_path / "w1.jsonl"
+        four = tmp_path / "w4.jsonl"
+        assert main(["campaign", "run", str(spec_path), "--out", str(one),
+                     "--quiet", "--no-report"]) == 0
+        assert main(["campaign", "run", str(spec_path), "--out", str(four),
+                     "--quiet", "--no-report", "--workers", "4"]) == 0
+        capsys.readouterr()
+        assert one.read_bytes() == four.read_bytes()
+
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_CAMPAIGNS:
+            assert name in out
+
+    def test_campaign_run_builtin(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["campaign", "run", "fig3-flv-class3", "--quiet"]) == 0
+        assert (tmp_path / "fig3-flv-class3.results.jsonl").exists()
+        capsys.readouterr()
+
+    def test_campaign_run_unknown_spec(self, tmp_path, capsys):
+        assert main(["campaign", "run", str(tmp_path / "nope.json")]) == 2
+        assert "no such campaign" in capsys.readouterr().err
+
+    def test_campaign_report_missing_file(self, tmp_path, capsys):
+        assert main(["campaign", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_campaign_report_unknown_group_key(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        write_rows(out, [make_row()])
+        code = main(["campaign", "report", str(out), "--group-by", "engnie"])
+        assert code == 2
+        assert "unknown --group-by field(s) engnie" in capsys.readouterr().err
+
+    def test_campaign_run_bad_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "algorithms": ["pbft"], "oops": 1}')
+        assert main(["campaign", "run", str(path)]) == 2
+        assert "cannot load campaign spec" in capsys.readouterr().err
+
+    def test_seed_override_changes_output(self, tmp_path, capsys):
+        spec_path = self.spec_file(tmp_path)
+        base = tmp_path / "base.jsonl"
+        moved = tmp_path / "moved.jsonl"
+        main(["campaign", "run", str(spec_path), "--out", str(base),
+              "--quiet", "--no-report"])
+        main(["campaign", "run", str(spec_path), "--out", str(moved),
+              "--quiet", "--no-report", "--seed", "6"])
+        capsys.readouterr()
+        seeds = lambda path: [row["seed"] for row in read_rows(path)]  # noqa: E731
+        assert seeds(base) != seeds(moved)
+
+
+def test_builtin_campaigns_expand():
+    for name, spec in BUILTIN_CAMPAIGNS.items():
+        runs = spec.expand()
+        assert len(runs) == spec.total_runs, name
+        assert spec.name == name
+
+
+def test_grid_demo_meets_acceptance_size():
+    assert BUILTIN_CAMPAIGNS["grid-demo"].total_runs >= 100

@@ -1,0 +1,193 @@
+"""Campaign spec expansion: grid size, seed derivation, (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.campaigns.spec import (
+    CampaignSpec,
+    FaultSpec,
+    NetworkSpec,
+    derive_seed,
+    load_spec,
+    resolve_algorithm,
+)
+from repro.core.parameters import ConsensusParameters
+from repro.core.types import FaultModel
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="unit",
+        algorithms=("pbft", "class-2"),
+        models=((4, 1, 0), (5, 1, 0)),
+        engines=("lockstep", "timed"),
+        faults=(FaultSpec(), FaultSpec(byzantine="equivocator")),
+        networks=(NetworkSpec(),),
+        repetitions=3,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestExpansion:
+    def test_cross_product_size(self):
+        spec = small_spec()
+        runs = spec.expand()
+        assert len(runs) == 2 * 2 * 2 * 2 * 1 * 3 == spec.total_runs
+
+    def test_run_ids_sequential(self):
+        runs = small_spec().expand()
+        assert [run.run_id for run in runs] == list(range(len(runs)))
+
+    def test_all_coordinates_distinct(self):
+        runs = small_spec().expand()
+        assert len({run.key() for run in runs}) == len(runs)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="algorithms"):
+            small_spec(algorithms=())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            small_spec(engines=("warp",))
+
+
+class TestSeedDerivation:
+    def test_expansion_is_deterministic(self):
+        spec = small_spec()
+        assert spec.expand() == spec.expand()
+
+    def test_seeds_differ_across_runs(self):
+        runs = small_spec().expand()
+        seeds = {run.seed for run in runs}
+        assert len(seeds) == len(runs)
+
+    def test_campaign_seed_changes_every_run_seed(self):
+        base = {run.run_id: run.seed for run in small_spec().expand()}
+        moved = {run.run_id: run.seed for run in small_spec(seed=8).expand()}
+        assert all(base[rid] != moved[rid] for rid in base)
+
+    def test_seed_depends_on_coordinates_not_position(self):
+        """Adding a repetition must not disturb existing runs' seeds."""
+        narrow = {run.key(): run.seed for run in small_spec().expand()}
+        wide = {
+            run.key(): run.seed for run in small_spec(repetitions=4).expand()
+        }
+        for key, seed in narrow.items():
+            assert wide[key] == seed
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "a|b") == derive_seed(7, "a|b")
+        assert derive_seed(7, "a|b") != derive_seed(8, "a|b")
+        assert derive_seed(7, "a|b") != derive_seed(7, "a|c")
+
+
+class TestSerialization:
+    def test_mapping_round_trip(self):
+        spec = small_spec()
+        assert CampaignSpec.from_mapping(spec.to_mapping()) == spec
+
+    def test_load_json(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec.to_mapping()))
+        assert load_spec(path) == spec
+
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "campaign.toml"
+        path.write_text(
+            'name = "toml-campaign"\n'
+            'algorithms = ["pbft"]\n'
+            "models = [[4, 1, 0]]\n"
+            "repetitions = 2\n"
+            "[[faults]]\n"
+            'byzantine = "silent"\n'
+        )
+        spec = load_spec(path)
+        assert spec.name == "toml-campaign"
+        assert spec.faults == (FaultSpec(byzantine="silent"),)
+        assert spec.total_runs == 2
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign keys"):
+            CampaignSpec.from_mapping(
+                {"name": "x", "algorithms": ["pbft"], "models": [[4, 1, 0]],
+                 "typo": 1}
+            )
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "campaign.yaml"
+        path.write_text("name: x\n")
+        with pytest.raises(ValueError, match="unsupported spec extension"):
+            load_spec(path)
+
+
+class TestResolveAlgorithm:
+    def test_builder_name(self):
+        parameters, _config = resolve_algorithm("pbft", FaultModel(4, 1, 0))
+        assert isinstance(parameters, ConsensusParameters)
+        assert parameters.model.n == 4
+
+    def test_class_name(self):
+        parameters, _config = resolve_algorithm("class-1", FaultModel(6, 1, 0))
+        assert parameters.model.b == 1
+
+    def test_below_bound_raises_value_error(self):
+        with pytest.raises(ValueError):
+            resolve_algorithm("class-1", FaultModel(4, 1, 0))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            resolve_algorithm("nope", FaultModel(4, 1, 0))
+
+
+class TestFaultSpec:
+    def test_describe(self):
+        assert FaultSpec().describe() == "fault-free"
+        assert FaultSpec(byzantine="silent").describe() == "byz:silent"
+        assert FaultSpec(crashes=-1).describe() == "crash:f@1"
+        assert (
+            FaultSpec(byzantine="noise", crashes=2, crash_round=3,
+                      clean=False).describe()
+            == "byz:noise+crash!:2@3"
+        )
+
+    def test_crash_count(self):
+        model = FaultModel(5, 0, 2)
+        assert FaultSpec(crashes=-1).crash_count(model) == 2
+        assert FaultSpec(crashes=1).crash_count(model) == 1
+
+
+class TestNetworkSpec:
+    def test_describe_distinguishes_every_field(self):
+        """Aliased describe() strings would alias derived seeds and cells."""
+        variants = [
+            NetworkSpec(),
+            NetworkSpec(kind="fixed"),
+            NetworkSpec(low=0.6),
+            NetworkSpec(high=2.5),
+            NetworkSpec(gst=1.0),
+            NetworkSpec(delta=3.0),
+            NetworkSpec(pre_gst_delay_prob=0.9),
+            NetworkSpec(chaos_factor=10.0),
+            NetworkSpec(round_duration=3.0),
+        ]
+        described = {network.describe() for network in variants}
+        assert len(described) == len(variants)
+
+    def test_sweep_over_delay_prob_gets_distinct_seeds(self):
+        spec = small_spec(
+            engines=("timed",),
+            networks=(
+                NetworkSpec(pre_gst_delay_prob=0.1),
+                NetworkSpec(pre_gst_delay_prob=0.9),
+            ),
+        )
+        runs = spec.expand()
+        assert len({run.seed for run in runs}) == len(runs)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown latency kind"):
+            NetworkSpec(kind="warp")

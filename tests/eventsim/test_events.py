@@ -46,3 +46,20 @@ def test_pop_empty_raises():
 def test_negative_time_rejected():
     with pytest.raises(ValueError):
         EventQueue().push(-1.0, "x")
+
+
+def test_clear_returns_dropped_count():
+    queue = EventQueue()
+    for time in (1.0, 2.0, 3.0):
+        queue.push(time, "x")
+    assert queue.clear() == 3
+    assert not queue and queue.peek_time() is None
+    assert queue.clear() == 0
+
+
+def test_clear_then_reuse():
+    queue = EventQueue()
+    queue.push(1.0, "old")
+    queue.clear()
+    queue.push(2.0, "new")
+    assert queue.pop().payload == "new"

@@ -116,3 +116,65 @@ def test_missing_initial_value():
     spec = build_pbft(4)
     with pytest.raises(ValueError, match="missing initial value"):
         run_timed_consensus(spec.parameters, {0: "a"}, synchronous_net())
+
+
+class TestSeedThreading:
+    def _run(self, seed):
+        spec = build_pbft(4)
+        network = PartialSynchronyNetwork(
+            UniformLatency(0.5, 2.0),
+            gst=12.0,
+            pre_gst_delay_prob=0.7,
+            seed=999,  # overridden by the explicit per-run seed
+        )
+        return run_timed_consensus(
+            spec.parameters,
+            {0: "a", 1: "b", 2: "a"},
+            network,
+            byzantine={3: "equivocator"},
+            max_phases=20,
+            seed=seed,
+        )
+
+    def test_same_seed_reproduces(self):
+        first, second = self._run(42), self._run(42)
+        assert first.last_decision_time == second.last_decision_time
+        assert first.messages_delivered == second.messages_delivered
+        assert first.messages_dropped == second.messages_dropped
+
+    def test_seed_overrides_network_state(self):
+        """Distinct seeds give distinct RNG streams despite equal networks."""
+        outcomes = {self._run(seed).messages_dropped for seed in range(6)}
+        assert len(outcomes) > 1
+
+    def test_rng_injection(self):
+        import random
+
+        network = PartialSynchronyNetwork(
+            UniformLatency(0.5, 2.0), rng=random.Random(7)
+        )
+        reference = PartialSynchronyNetwork(UniformLatency(0.5, 2.0), seed=7)
+        samples = [network.transit_time(0.0, 0, 1) for _ in range(5)]
+        expected = [reference.transit_time(0.0, 0, 1) for _ in range(5)]
+        assert samples == expected
+
+
+def test_dropped_messages_are_counted():
+    """Pre-GST chaos pushes messages past their deadline: all accounted."""
+    spec = build_pbft(4)
+    outcome = run_timed_consensus(
+        spec.parameters,
+        {pid: f"v{pid % 2}" for pid in range(4)},
+        PartialSynchronyNetwork(
+            UniformLatency(0.5, 2.0),
+            gst=20.0,
+            pre_gst_delay_prob=0.8,
+            seed=13,
+        ),
+        max_phases=20,
+    )
+    assert outcome.messages_dropped > 0
+    assert (
+        outcome.messages_delivered + outcome.messages_dropped
+        == outcome.messages_sent
+    )

@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.smr",
     "repro.algorithms",
     "repro.analysis",
+    "repro.campaigns",
     "repro.cli",
 ]
 
