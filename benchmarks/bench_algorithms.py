@@ -17,7 +17,7 @@ from repro.algorithms import (
 )
 from repro.algorithms.one_third_rule import OriginalOneThirdRuleProcess
 from repro.core.flv_class1 import FLVClass1
-from repro.core.flv_variants import FaBPaxosFLV, fab_paxos_threshold
+from repro.core.flv_variants import FaBPaxosFLV
 from repro.core.types import FaultModel, RoundInfo, RoundKind, SelectionMessage
 from repro.rounds.engine import SyncEngine
 from repro.rounds.policies import ReliablePolicy

@@ -7,7 +7,6 @@ algorithms are cheaper: selection sends n messages to the leader, only the
 leader speaks in validation.
 """
 
-import pytest
 
 from repro.algorithms import build_fab_paxos, build_mqb, build_paxos, build_pbft
 from repro.analysis.metrics import RunMetrics

@@ -5,7 +5,6 @@ Paxos-replicated and a PBFT-replicated key-value store, with replica-state
 digest agreement checked at the end.
 """
 
-import pytest
 
 from repro.algorithms import build_paxos, build_pbft
 from repro.smr import KeyValueStore, ReplicatedService

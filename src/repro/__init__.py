@@ -18,6 +18,19 @@ Quickstart::
                             byzantine={1: "equivocator"})
     print(outcome.decisions)
 
+Execution kernel
+----------------
+
+Both timing disciplines run on one kernel (:mod:`repro.engine`):
+:func:`~repro.engine.build_instance` assembles an instance once,
+:func:`~repro.engine.run_instance` executes it under a
+:class:`~repro.engine.LockstepScheduler` (oracle communication predicates)
+or a :class:`~repro.engine.TimedScheduler` (Δ-paced deadline delivery over
+partial synchrony), and ``observe="full" | "metrics"`` selects between a
+complete execution trace and the trace-free hot path campaign sweeps use.
+:func:`run_consensus` and :func:`repro.eventsim.run_timed_consensus` are
+thin compatibility wrappers over it.
+
 Campaigns
 ---------
 

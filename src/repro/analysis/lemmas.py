@@ -23,7 +23,7 @@ reproduction a proof-shaped safety net beyond end-to-end agreement.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.analysis.invariants import InvariantViolation
 from repro.core.run import ConsensusOutcome

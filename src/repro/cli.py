@@ -26,8 +26,8 @@ from repro.analysis.metrics import RunMetrics
 from repro.analysis.reporting import format_table
 from repro.analysis.resilience import sweep_class
 from repro.core.classification import AlgorithmClass
-from repro.core.run import STRATEGY_REGISTRY
 from repro.core.types import FaultModel
+from repro.faults.registry import STRATEGY_REGISTRY
 
 
 def _cmd_list(args: argparse.Namespace) -> int:

@@ -16,7 +16,7 @@ of Section 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.flv import FLVFunction

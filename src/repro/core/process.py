@@ -11,7 +11,6 @@ and first-selection-round suppression).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
@@ -55,6 +54,9 @@ class RoundStructure:
             kinds.append(RoundKind.VALIDATION)
         kinds.append(RoundKind.DECISION)
         self._kinds: List[RoundKind] = kinds
+        # RoundInfo is immutable and the same few rounds are asked for over
+        # and over (every decision probe goes through here), so memoize.
+        self._info_cache: Dict[Round, RoundInfo] = {}
 
     @property
     def rounds_per_phase(self) -> int:
@@ -76,6 +78,14 @@ class RoundStructure:
 
     def info(self, round_number: Round) -> RoundInfo:
         """The :class:`RoundInfo` of global round ``round_number`` (1-based)."""
+        cached = self._info_cache.get(round_number)
+        if cached is not None:
+            return cached
+        info = self._info_uncached(round_number)
+        self._info_cache[round_number] = info
+        return info
+
+    def _info_uncached(self, round_number: Round) -> RoundInfo:
         if round_number < 1:
             raise ValueError(f"round numbers start at 1, got {round_number}")
         per_phase = self.rounds_per_phase
@@ -177,10 +187,11 @@ class GenericConsensusProcess(RoundProcess):
     def _recv_selection(self, info: RoundInfo, received: Inbound) -> None:
         phase = info.phase
         messages = []
+        append = messages.append
         for payload in received.values():
             parsed = coerce_selection_message(payload)
             if parsed is not None:
-                messages.append(parsed)
+                append(parsed)
 
         # Line 9: select ← FLV(μ).
         selected = self.parameters.flv.evaluate(messages, phase)
@@ -298,23 +309,21 @@ class GenericConsensusProcess(RoundProcess):
 
     def _recv_decision(self, info: RoundInfo, received: Inbound) -> None:
         phase = info.phase
+        phase_gated = self.parameters.flag is Flag.CURRENT_PHASE
         counts: Dict[Value, int] = {}
+        counts_get = counts.get
         for payload in received.values():
             message = coerce_decision_message(payload)
             if message is None:
                 continue
             # Line 31: FLAG = φ counts only votes validated in this phase;
             # FLAG = * counts all votes.
-            if (
-                self.parameters.flag is Flag.CURRENT_PHASE
-                and message.ts != phase
-            ):
+            if phase_gated and message.ts != phase:
                 continue
-            counts[message.vote] = counts.get(message.vote, 0) + 1
+            counts[message.vote] = counts_get(message.vote, 0) + 1
+        threshold = self.parameters.threshold
         winners = [
-            value
-            for value, count in counts.items()
-            if count >= self.parameters.threshold
+            value for value, count in counts.items() if count >= threshold
         ]
         if winners:
             value = winners[0] if len(winners) == 1 else deterministic_choice(winners)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.parameters import Coin, ConsensusParameters, GenericConsensusConfig
-from repro.core.run import ConsensusOutcome, run_consensus
+from repro.core.run import ConsensusOutcome
 from repro.core.types import Phase, ProcessId, Value
 from repro.rounds.policies import AsyncPrelPolicy
 from repro.utils.rng import SeededRng
@@ -105,64 +105,18 @@ def _run_with_per_process_coins(
     policy,
 ) -> ConsensusOutcome:
     """Like :func:`run_consensus` but with a per-process config factory."""
-    from repro.core.process import GenericConsensusProcess, RoundStructure
-    from repro.core.run import (
-        ConsensusOutcome as Outcome,
-        _build_byzantine,
+    from repro.core.run import outcome_from_kernel
+    from repro.engine.assembly import build_instance
+    from repro.engine.kernel import run_instance
+    from repro.engine.scheduler import LockstepScheduler
+
+    instance = build_instance(
+        parameters, initial_values, byzantine=byzantine, config_for=config_for
     )
-    from repro.core.types import Decision, RoundInfo
-    from repro.rounds.base import RunContext
-    from repro.rounds.engine import SyncEngine
-
-    model = parameters.model
-    byzantine = dict(byzantine or {})
-    structure = RoundStructure(parameters.flag)
-
-    processes = {}
-    initials = {}
-    for pid in model.processes:
-        if pid in byzantine:
-            processes[pid] = _build_byzantine(pid, byzantine[pid], parameters)
-            continue
-        if pid not in initial_values:
-            raise ValueError(f"missing initial value for honest process {pid}")
-        initials[pid] = initial_values[pid]
-        processes[pid] = GenericConsensusProcess(
-            pid, initial_values[pid], parameters, config_for(pid)
-        )
-
-    context = RunContext(model, byzantine=frozenset(byzantine))
-
-    def decision_probe(pid, process, info: RoundInfo):
-        if isinstance(process, GenericConsensusProcess) and process.has_decided:
-            return Decision(
-                process=pid,
-                value=process.decided,
-                round=process.decision_round or info.number,
-                phase=structure.info(process.decision_round or info.number).phase,
-            )
-        return None
-
-    engine = SyncEngine(
-        model,
-        processes,
-        policy,
-        structure.info,
-        context=context,
-        decision_probe=decision_probe,
+    outcome = run_instance(
+        instance,
+        LockstepScheduler(policy),
+        max_phases=max_phases,
+        record_snapshots=False,
     )
-    target = engine.eventually_correct
-
-    def stop_when(trace) -> bool:
-        return target <= set(trace.decisions)
-
-    result = engine.run(
-        structure.rounds_for_phases(max_phases), stop_when=stop_when
-    )
-    return ConsensusOutcome(
-        parameters=parameters,
-        result=result,
-        processes=processes,
-        initial_values=initials,
-        structure=structure,
-    )
+    return outcome_from_kernel(instance, outcome)

@@ -11,50 +11,35 @@ This is the main entry point of the library::
                             byzantine={1: "equivocator"})
     assert outcome.agreement_holds
 
-``run_consensus`` assembles the honest processes (Algorithm 1), Byzantine
-strategies, crash schedule and delivery policy, runs the lockstep engine and
-returns a :class:`ConsensusOutcome` with decisions, the execution trace and
-invariant checks.
+``run_consensus`` is a thin compatibility wrapper over the unified
+execution kernel (:mod:`repro.engine`): it assembles the instance with
+:func:`repro.engine.assembly.build_instance`, runs it under a
+:class:`~repro.engine.scheduler.LockstepScheduler` with full observation,
+and returns a :class:`ConsensusOutcome` with decisions, the execution trace
+and invariant checks.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Union
+from typing import Dict, Mapping, Optional
 
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
 from repro.core.process import GenericConsensusProcess, RoundStructure
-from repro.core.types import Decision, ProcessId, RoundInfo, Value
-from repro.faults.byzantine import (
-    AdaptiveLiar,
-    ByzantineStrategy,
-    Equivocator,
-    FakeHistoryLiar,
-    HighTimestampLiar,
-    RandomNoise,
-    SilentByzantine,
-    VoteFlipper,
-)
+from repro.core.types import Decision, ProcessId, Value
+from repro.engine.assembly import build_instance
+from repro.engine.kernel import OBSERVE_FULL, run_instance
+from repro.engine.scheduler import LockstepScheduler
 from repro.faults.crash import CrashSchedule
-from repro.rounds.base import RoundProcess, RunContext
-from repro.rounds.engine import EngineResult, SyncEngine
-from repro.rounds.policies import DeliveryPolicy, ReliablePolicy
-
-#: Named Byzantine strategies accepted by ``run_consensus(byzantine=...)``.
-STRATEGY_REGISTRY: Dict[str, Callable[..., ByzantineStrategy]] = {
-    "silent": SilentByzantine,
-    "noise": RandomNoise,
-    "equivocator": Equivocator,
-    "vote-flipper": VoteFlipper,
-    "high-ts-liar": HighTimestampLiar,
-    "fake-history-liar": FakeHistoryLiar,
-    "adaptive-liar": AdaptiveLiar,
-}
-
-#: A Byzantine slot is a strategy name, an instance, or a factory.
-ByzantineSpec = Union[
-    str, ByzantineStrategy, Callable[[ProcessId, ConsensusParameters], ByzantineStrategy]
-]
+from repro.faults.registry import (  # noqa: F401 - compatibility re-exports
+    STRATEGY_REGISTRY,
+    ByzantineSpec,
+    build_byzantine,
+)
+from repro.rounds.base import RoundProcess
+from repro.rounds.engine import EngineResult
+from repro.rounds.policies import DeliveryPolicy
 
 
 @dataclass
@@ -147,21 +132,33 @@ class ConsensusOutcome:
         return all(value == common for value in self.decided_values)
 
 
+def outcome_from_kernel(instance, outcome) -> ConsensusOutcome:
+    """Wrap a kernel run (:class:`~repro.engine.outcome.Outcome`) for the
+    lockstep compatibility API."""
+    return ConsensusOutcome(
+        parameters=instance.parameters,
+        result=EngineResult(
+            trace=outcome.trace,
+            context=outcome.context,
+            rounds_executed=outcome.rounds_executed,
+        ),
+        processes=instance.processes,
+        initial_values=instance.initial_values,
+        structure=instance.structure,
+    )
+
+
 def _build_byzantine(
     pid: ProcessId, spec: ByzantineSpec, parameters: ConsensusParameters
-) -> ByzantineStrategy:
-    if isinstance(spec, ByzantineStrategy):
-        return spec
-    if isinstance(spec, str):
-        try:
-            factory = STRATEGY_REGISTRY[spec]
-        except KeyError:
-            raise ValueError(
-                f"unknown Byzantine strategy {spec!r}; "
-                f"known: {sorted(STRATEGY_REGISTRY)}"
-            ) from None
-        return factory(pid, parameters)
-    return spec(pid, parameters)
+):
+    """Deprecated private alias of :func:`repro.faults.build_byzantine`."""
+    warnings.warn(
+        "repro.core.run._build_byzantine is deprecated; "
+        "use repro.faults.build_byzantine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_byzantine(pid, spec, parameters)
 
 
 def run_consensus(
@@ -182,73 +179,15 @@ def run_consensus(
     The run stops as soon as every eventually-correct process has decided,
     or after ``max_phases`` phases.
     """
-    model = parameters.model
-    config = config or GenericConsensusConfig()
-    byzantine = dict(byzantine or {})
-    if len(byzantine) > model.b:
-        raise ValueError(
-            f"{len(byzantine)} Byzantine processes exceed b={model.b}"
-        )
-
-    structure = RoundStructure(
-        parameters.flag, skip_first_selection=config.skip_first_selection
+    instance = build_instance(
+        parameters, initial_values, config=config, byzantine=byzantine
     )
-
-    processes: Dict[ProcessId, RoundProcess] = {}
-    initials: Dict[ProcessId, Value] = {}
-    for pid in model.processes:
-        if pid in byzantine:
-            processes[pid] = _build_byzantine(pid, byzantine[pid], parameters)
-            continue
-        if pid not in initial_values:
-            raise ValueError(f"missing initial value for honest process {pid}")
-        initials[pid] = initial_values[pid]
-        processes[pid] = GenericConsensusProcess(
-            pid, initial_values[pid], parameters, config
-        )
-
-    context = RunContext(model, byzantine=frozenset(byzantine))
-
-    def decision_probe(
-        pid: ProcessId, process: RoundProcess, info: RoundInfo
-    ) -> Optional[Decision]:
-        if isinstance(process, GenericConsensusProcess) and process.has_decided:
-            return Decision(
-                process=pid,
-                value=process.decided,
-                round=process.decision_round or info.number,
-                phase=structure.info(process.decision_round or info.number).phase,
-            )
-        return None
-
-    def snapshot_fn(pid: ProcessId, process: RoundProcess) -> object:
-        if isinstance(process, GenericConsensusProcess):
-            return process.state.snapshot()
-        return None
-
-    engine = SyncEngine(
-        model,
-        processes,
-        policy or ReliablePolicy(),
-        structure.info,
-        context=context,
+    outcome = run_instance(
+        instance,
+        LockstepScheduler(policy),
+        max_phases=max_phases,
+        observe=OBSERVE_FULL,
         crash_schedule=crash_schedule,
-        decision_probe=decision_probe,
-        snapshot_fn=snapshot_fn,
         record_snapshots=record_snapshots,
     )
-
-    target = engine.eventually_correct
-
-    def stop_when(trace) -> bool:
-        return target <= set(trace.decisions)
-
-    max_rounds = structure.rounds_for_phases(max_phases)
-    result = engine.run(max_rounds, stop_when=stop_when)
-    return ConsensusOutcome(
-        parameters=parameters,
-        result=result,
-        processes=processes,
-        initial_values=initials,
-        structure=structure,
-    )
+    return outcome_from_kernel(instance, outcome)

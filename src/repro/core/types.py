@@ -16,7 +16,7 @@ fact that a real implementation ignores unparseable bytes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Hashable, Mapping, Optional, Tuple
 
 #: Processes are identified by small integers ``0..n-1`` (the set Π).
@@ -145,14 +145,7 @@ def coerce_history(raw: object) -> Optional[History]:
     return None
 
 
-def coerce_selection_message(raw: object) -> Optional[SelectionMessage]:
-    """Validate an untrusted selection-round payload.
-
-    Byzantine senders can put anything on the wire; honest transition
-    functions only act on well-formed ``SelectionMessage`` instances whose
-    timestamp is a non-negative int and whose history/selector fields are
-    frozen sets of the right shape.
-    """
+def _validate_selection_message(raw: object) -> Optional[SelectionMessage]:
     if not isinstance(raw, SelectionMessage):
         return None
     if not isinstance(raw.ts, int) or isinstance(raw.ts, bool) or raw.ts < 0:
@@ -169,8 +162,7 @@ def coerce_selection_message(raw: object) -> Optional[SelectionMessage]:
     return raw
 
 
-def coerce_validation_message(raw: object) -> Optional[ValidationMessage]:
-    """Validate an untrusted validation-round payload."""
+def _validate_validation_message(raw: object) -> Optional[ValidationMessage]:
     if not isinstance(raw, ValidationMessage):
         return None
     if not isinstance(raw.validators, frozenset):
@@ -182,13 +174,76 @@ def coerce_validation_message(raw: object) -> Optional[ValidationMessage]:
     return raw
 
 
-def coerce_decision_message(raw: object) -> Optional[DecisionMessage]:
-    """Validate an untrusted decision-round payload."""
+def _validate_decision_message(raw: object) -> Optional[DecisionMessage]:
     if not isinstance(raw, DecisionMessage):
         return None
     if not isinstance(raw.ts, int) or isinstance(raw.ts, bool) or raw.ts < 0:
         return None
     return raw
+
+
+def _identity_cached(validate, exact_type: type, maxsize: int = 4096):
+    """Memoize a payload validator by object identity.
+
+    Rounds hand the same broadcast payload object to every receiver, so
+    each of the n receivers would otherwise re-validate an identical
+    message; this collapses that to one validation per payload object —
+    one of the hot-path optimizations behind the kernel's metrics mode.
+
+    Identity keying (rather than value keying) keeps the validators exact:
+    the cached result is precisely what ``validate`` returned for *this*
+    object, payloads need not be hashable (Byzantine senders can put
+    anything on the wire), and id-reuse after garbage collection cannot
+    alias because each entry pins the keyed object and re-checks ``is`` on
+    lookup.  Only instances of exactly ``exact_type`` — a frozen dataclass,
+    so field rebinding is impossible — are ever cached; every other payload
+    (arbitrary garbage, user-defined subclasses with who-knows-what
+    mutability) is re-validated on every delivery, as before.  A sender
+    that mutates a frozen message's *container field* in place between
+    rounds at worst replays its earlier payload — behaviour any Byzantine
+    sender may exhibit anyway.
+    """
+
+    cache: dict = {}
+    cache_get = cache.get
+
+    def wrapper(raw: object):
+        hit = cache_get(id(raw))
+        if hit is not None and hit[0] is raw:
+            return hit[1]
+        result = validate(raw)
+        if type(raw) is exact_type:
+            if len(cache) >= maxsize:
+                cache.clear()  # rare full flush; the next round re-warms it
+            cache[id(raw)] = (raw, result)
+        return result
+
+    return wrapper
+
+
+coerce_selection_message = _identity_cached(
+    _validate_selection_message, SelectionMessage
+)
+coerce_selection_message.__name__ = "coerce_selection_message"
+coerce_selection_message.__doc__ = """Validate an untrusted selection-round payload.
+
+    Byzantine senders can put anything on the wire; honest transition
+    functions only act on well-formed ``SelectionMessage`` instances whose
+    timestamp is a non-negative int and whose history/selector fields are
+    frozen sets of the right shape.
+    """
+
+coerce_validation_message = _identity_cached(
+    _validate_validation_message, ValidationMessage
+)
+coerce_validation_message.__name__ = "coerce_validation_message"
+coerce_validation_message.__doc__ = "Validate an untrusted validation-round payload."
+
+coerce_decision_message = _identity_cached(
+    _validate_decision_message, DecisionMessage
+)
+coerce_decision_message.__name__ = "coerce_decision_message"
+coerce_decision_message.__doc__ = "Validate an untrusted decision-round payload."
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ expects: ``oracle(process, phase) → ProcessId``.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.types import FaultModel, Phase, ProcessId
 

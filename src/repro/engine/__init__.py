@@ -1,0 +1,56 @@
+"""The unified execution kernel: one assembly + scheduler architecture.
+
+The paper's generic algorithm is a single transition system that can be
+executed under different *timing disciplines*.  This package factors every
+execution path into three orthogonal pieces:
+
+* **Assembly** (:mod:`repro.engine.assembly`) — :func:`build_instance`
+  assembles honest processes, Byzantine strategies, and the round structure
+  into an :class:`Instance`, exactly once, for every discipline.
+* **Scheduling** (:mod:`repro.engine.scheduler`) — a
+  :class:`RoundScheduler` decides what each round's send step puts into
+  each receiver's inbox: :class:`LockstepScheduler` applies a delivery
+  policy (the oracle communication predicates of Section 2.1);
+  :class:`TimedScheduler` paces rounds with a duration Δ and delivers only
+  the messages whose sampled latency meets the round deadline
+  (communication-closed rounds over partial synchrony).
+* **Observation** (:mod:`repro.engine.kernel` /
+  :mod:`repro.engine.outcome`) — the :class:`ExecutionKernel` runs the
+  round loop once for all disciplines and reports a unified
+  :class:`Outcome`.  ``observe="full"`` records an execution trace with
+  per-round predicate evaluations; ``observe="metrics"`` skips all
+  per-round record construction — the hot path for campaign sweeps.
+
+``repro.core.run.run_consensus`` and
+``repro.eventsim.runtime.run_timed_consensus`` are thin compatibility
+wrappers over this kernel.
+"""
+
+from repro.engine.assembly import Instance, build_instance
+from repro.engine.kernel import (
+    OBSERVE_FULL,
+    OBSERVE_METRICS,
+    ExecutionKernel,
+    run_instance,
+)
+from repro.engine.outcome import Outcome
+from repro.engine.scheduler import (
+    LockstepScheduler,
+    RoundDelivery,
+    RoundScheduler,
+    TimedScheduler,
+)
+
+__all__ = [
+    "ExecutionKernel",
+    "Instance",
+    "LockstepScheduler",
+    "OBSERVE_FULL",
+    "OBSERVE_METRICS",
+    "Outcome",
+    "RoundDelivery",
+    "RoundScheduler",
+    "TimedScheduler",
+    "build_instance",
+    "run_instance",
+]

@@ -1,0 +1,156 @@
+"""Round schedulers: the timing discipline of an execution.
+
+A :class:`RoundScheduler` answers one question per round: given what every
+live process put on the wire, what does each receiver's inbox contain — and,
+if rounds are timed, when does the round end?
+
+* :class:`LockstepScheduler` wraps a
+  :class:`~repro.rounds.policies.DeliveryPolicy`: rounds are untimed and an
+  oracle realizes the communication predicate in force (``Pgood``/``Pcons``
+  in good periods, adversarial behaviours in bad ones).
+* :class:`TimedScheduler` paces rounds with a common duration Δ over a
+  :class:`~repro.eventsim.network.PartialSynchronyNetwork`: messages sent at
+  the round's start arrive after a sampled latency and are delivered only if
+  they meet the round deadline (communication-closed rounds — late messages
+  are discarded).  Byzantine equivocation in selection rounds is
+  canonicalized to one payload per sender, as an implemented ``Pcons``
+  would enforce; stretch ``selection_round_factor`` to model the extra
+  micro-rounds such an implementation costs.
+
+Both schedulers inherit the no-impersonation guarantee from the outbound
+matrix they receive: a payload delivered as coming from ``q`` was produced
+by ``q`` in this round.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.types import ProcessId, RoundInfo, RoundKind
+from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
+from repro.rounds.policies import DeliveryPolicy, ReliablePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.eventsim.network import PartialSynchronyNetwork
+
+
+@dataclass(frozen=True)
+class RoundDelivery:
+    """What a scheduler decided for one round."""
+
+    #: receiver → (sender → payload).
+    matrix: DeliveryMatrix
+    #: Messages discarded (timed rounds: missed the deadline).
+    dropped: int = 0
+    #: Simulated end time of the round; ``None`` for untimed disciplines.
+    end_time: Optional[float] = None
+
+
+class RoundScheduler(abc.ABC):
+    """Strategy deciding delivery (and pacing) of each round.
+
+    A scheduler may carry per-run state (the timed scheduler tracks the
+    simulated clock and in-flight messages); the kernel calls :meth:`reset`
+    when it binds a scheduler, so one scheduler object can safely be reused
+    across runs.
+    """
+
+    def reset(self) -> None:
+        """Clear per-run state; called when a kernel binds this scheduler."""
+
+    @abc.abstractmethod
+    def deliver_round(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> RoundDelivery:
+        """Turn the round's outbound matrix into its delivery outcome."""
+
+
+class LockstepScheduler(RoundScheduler):
+    """Untimed rounds delegated to a delivery policy (oracle predicates)."""
+
+    def __init__(self, policy: Optional[DeliveryPolicy] = None) -> None:
+        self._policy = policy or ReliablePolicy()
+
+    @property
+    def policy(self) -> DeliveryPolicy:
+        return self._policy
+
+    def deliver_round(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> RoundDelivery:
+        return RoundDelivery(self._policy.deliver(info, outbound, ctx))
+
+
+class TimedScheduler(RoundScheduler):
+    """Δ-paced rounds with deadline delivery over a timed network."""
+
+    def __init__(
+        self,
+        network: "PartialSynchronyNetwork",
+        *,
+        round_duration: float = 2.5,
+        selection_round_factor: float = 1.0,
+    ) -> None:
+        # Imported here: repro.eventsim.runtime (pulled in by the eventsim
+        # package init) imports this module, so a module-level import of
+        # repro.eventsim.events would be circular.
+        from repro.eventsim.events import EventQueue
+
+        if round_duration <= 0:
+            raise ValueError(f"round_duration must be positive, got {round_duration}")
+        self._network = network
+        self._round_duration = round_duration
+        self._selection_factor = selection_round_factor
+        self._queue = EventQueue()
+        self._now = 0.0
+
+    def reset(self) -> None:
+        """Rewind the clock and drop in-flight messages (new run)."""
+        self._queue.clear()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (the deadline of the last round)."""
+        return self._now
+
+    def deliver_round(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> RoundDelivery:
+        duration = self._round_duration
+        if info.kind is RoundKind.SELECTION:
+            duration *= self._selection_factor
+        deadline = self._now + duration
+
+        # Send step at the round's start; sample per-message transit times.
+        canonical: Dict[ProcessId, object] = {}
+        dropped = 0
+        for sender, messages in outbound.items():
+            for dest, payload in messages.items():
+                if info.kind is RoundKind.SELECTION and sender in ctx.byzantine:
+                    # Pcons canonicalization: one payload per Byzantine
+                    # sender within a selection round.
+                    payload = canonical.setdefault(sender, payload)
+                transit = self._network.transit_time(self._now, sender, dest)
+                # Communication closure applies to every receiver, Byzantine
+                # included: a message missing its deadline is dropped.
+                if self._now + transit <= deadline:
+                    self._queue.push(self._now + transit, (dest, sender, payload))
+                else:
+                    dropped += 1
+
+        # Deliver everything that makes the deadline, in arrival order.
+        matrix: DeliveryMatrix = {}
+        while self._queue:
+            arrival = self._queue.peek_time()
+            if arrival is None or arrival > deadline:
+                break
+            dest, sender, payload = self._queue.pop().payload
+            matrix.setdefault(dest, {})[sender] = payload
+        # Late messages are dropped: communication-closed rounds.
+        dropped += self._queue.clear()
+
+        self._now = deadline
+        return RoundDelivery(matrix, dropped=dropped, end_time=deadline)

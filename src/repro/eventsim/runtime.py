@@ -8,14 +8,19 @@ discarded, exactly as an implementation over the partial synchrony model
 does [7]).  Before the GST latencies are unbounded, so rounds starve; after
 GST (with ``Δ ≥ δ``) every message meets its deadline and rounds are good.
 
-Byzantine equivocation in selection rounds is canonicalized (one payload per
-sender, as the ``Pcons`` implementations of Section 2.2 would enforce); the
-cost of those implementations can be modelled by inflating
+:func:`run_timed_consensus` is a thin compatibility wrapper over the
+unified execution kernel (:mod:`repro.engine`) with a
+:class:`~repro.engine.scheduler.TimedScheduler`, which owns the Δ-paced
+deadline delivery and the selection-round equivocation canonicalization
+(model the cost of an implemented ``Pcons`` by inflating
 ``selection_round_factor`` — e.g. 3 for the authenticated 2-extra-rounds
-variant is ``1 + 2``.
+variant is ``1 + 2``).
 
 The runtime reports *time-to-decision*, the metric the lockstep engine
-cannot produce, and powers ``benchmarks/bench_decision_latency.py``.
+cannot produce, and powers ``benchmarks/bench_decision_latency.py``.  With
+``observe="full"`` it now also returns the execution trace (per-round
+predicate evaluations) and an invariant report — previously exclusive to
+the lockstep path.
 """
 
 from __future__ import annotations
@@ -23,13 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from repro.analysis.trace import ExecutionTrace
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
-from repro.core.process import GenericConsensusProcess, RoundStructure
-from repro.core.run import ByzantineSpec, _build_byzantine
-from repro.core.types import ProcessId, RoundKind, Value
-from repro.eventsim.events import EventQueue
+from repro.core.types import ProcessId, Value
+from repro.engine.assembly import build_instance
+from repro.engine.kernel import OBSERVE_METRICS, run_instance
+from repro.engine.scheduler import TimedScheduler
 from repro.eventsim.network import PartialSynchronyNetwork
-from repro.rounds.base import RoundProcess, RunContext
+from repro.faults.crash import CrashSchedule
+from repro.faults.registry import ByzantineSpec
+from repro.rounds.base import RunContext
 
 
 @dataclass
@@ -47,6 +55,12 @@ class TimedOutcome:
     messages_delivered: int
     #: messages discarded because they missed their round deadline.
     messages_dropped: int = 0
+    #: Execution trace with per-round predicates (``observe="full"`` only).
+    trace: Optional[ExecutionTrace] = None
+    #: Honest proposals (for the invariant report).
+    initial_values: Dict[ProcessId, Value] = field(default_factory=dict)
+    #: Fault bookkeeping of the run (for the invariant report).
+    context: Optional[RunContext] = None
 
     @property
     def agreement_holds(self) -> bool:
@@ -64,6 +78,22 @@ class TimedOutcome:
     def first_decision_time(self) -> Optional[float]:
         return min(self.decision_times.values()) if self.decision_times else None
 
+    def invariant_report(self) -> Mapping[str, bool]:
+        """Boolean summary of agreement/validity/unanimity/termination."""
+        from repro.analysis.invariants import evaluate_properties
+
+        if self.context is None:
+            raise ValueError(
+                "this TimedOutcome carries no run context; build it via "
+                "run_timed_consensus to get an invariant report"
+            )
+        return evaluate_properties(
+            decided_values=self.decided_values,
+            initial_values=self.initial_values,
+            byzantine=self.context.byzantine,
+            correct=self.context.correct,
+        )
+
 
 def run_timed_consensus(
     parameters: ConsensusParameters,
@@ -76,6 +106,9 @@ def run_timed_consensus(
     byzantine: Optional[Mapping[ProcessId, ByzantineSpec]] = None,
     max_phases: int = 40,
     seed: Optional[int] = None,
+    observe: str = OBSERVE_METRICS,
+    crash_schedule: Optional[CrashSchedule] = None,
+    record_snapshots: bool = False,
 ) -> TimedOutcome:
     """Run one consensus instance under the timed partial-synchrony network.
 
@@ -83,97 +116,39 @@ def run_timed_consensus(
     extra micro-rounds of an implemented ``Pcons``).  A non-``None`` ``seed``
     reseeds ``network`` before the run, making the whole timed execution a
     pure function of its arguments — campaign workers rely on this to stay
-    deterministic without sharing any global RNG state.
+    deterministic without sharing any global RNG state.  ``observe="full"``
+    additionally records the execution trace (default ``"metrics"`` skips
+    all per-round record construction — the campaign hot path);
+    ``record_snapshots`` adds per-round state snapshots to that trace, the
+    same flag :func:`repro.core.run.run_consensus` takes.
     """
     if seed is not None:
         network.reseed(seed)
-    model = parameters.model
-    config = config or GenericConsensusConfig()
-    byzantine = dict(byzantine or {})
-    structure = RoundStructure(
-        parameters.flag, skip_first_selection=config.skip_first_selection
+    instance = build_instance(
+        parameters, initial_values, config=config, byzantine=byzantine
     )
-    ctx = RunContext(model, byzantine=frozenset(byzantine))
-
-    processes: Dict[ProcessId, RoundProcess] = {}
-    for pid in model.processes:
-        if pid in byzantine:
-            processes[pid] = _build_byzantine(pid, byzantine[pid], parameters)
-        else:
-            if pid not in initial_values:
-                raise ValueError(f"missing initial value for honest process {pid}")
-            processes[pid] = GenericConsensusProcess(
-                pid, initial_values[pid], parameters, config
-            )
-
-    queue = EventQueue()
-    decision_times: Dict[ProcessId, float] = {}
-    decided_values: Dict[ProcessId, Value] = {}
-    messages_sent = 0
-    messages_delivered = 0
-    messages_dropped = 0
-
-    now = 0.0
-    rounds_executed = 0
-    total_rounds = structure.rounds_for_phases(max_phases)
-
-    for round_number in range(1, total_rounds + 1):
-        info = structure.info(round_number)
-        duration = round_duration
-        if info.kind is RoundKind.SELECTION:
-            duration *= selection_round_factor
-        deadline = now + duration
-
-        # Send step at the round's start; sample per-message transit times.
-        arrivals: Dict[ProcessId, Dict[ProcessId, object]] = {}
-        canonical: Dict[ProcessId, object] = {}
-        for pid, process in processes.items():
-            out = process.send(info)
-            for dest, payload in out.items():
-                if not 0 <= dest < model.n:
-                    continue
-                messages_sent += 1
-                if info.kind is RoundKind.SELECTION and pid in ctx.byzantine:
-                    # Pcons canonicalization: one payload per Byzantine
-                    # sender within a selection round.
-                    payload = canonical.setdefault(pid, payload)
-                transit = network.transit_time(now, pid, dest)
-                if now + transit <= deadline or dest in ctx.byzantine:
-                    queue.push(now + transit, (dest, pid, payload))
-                else:
-                    messages_dropped += 1
-
-        # Deliver everything that makes the deadline.
-        while queue and queue.peek_time() is not None and queue.peek_time() <= deadline:
-            event = queue.pop()
-            dest, sender, payload = event.payload
-            arrivals.setdefault(dest, {})[sender] = payload
-            messages_delivered += 1
-        # Late messages are dropped: communication-closed rounds.
-        messages_dropped += queue.clear()
-
-        for pid, process in processes.items():
-            process.receive(info, arrivals.get(pid, {}))
-            if (
-                pid not in decision_times
-                and isinstance(process, GenericConsensusProcess)
-                and process.has_decided
-            ):
-                decision_times[pid] = deadline
-                decided_values[pid] = process.decided
-
-        now = deadline
-        rounds_executed += 1
-        if set(ctx.correct) <= set(decision_times):
-            break
-
+    outcome = run_instance(
+        instance,
+        TimedScheduler(
+            network,
+            round_duration=round_duration,
+            selection_round_factor=selection_round_factor,
+        ),
+        max_phases=max_phases,
+        observe=observe,
+        crash_schedule=crash_schedule,
+        record_snapshots=record_snapshots,
+    )
     return TimedOutcome(
         parameters=parameters,
-        decision_times=decision_times,
-        decided_values=decided_values,
-        rounds_executed=rounds_executed,
-        simulated_time=now,
-        messages_sent=messages_sent,
-        messages_delivered=messages_delivered,
-        messages_dropped=messages_dropped,
+        decision_times=outcome.decision_times,
+        decided_values=outcome.decided_value_by_process,
+        rounds_executed=outcome.rounds_executed,
+        simulated_time=outcome.simulated_time or 0.0,
+        messages_sent=outcome.messages_sent,
+        messages_delivered=outcome.messages_delivered,
+        messages_dropped=outcome.messages_dropped,
+        trace=outcome.trace,
+        initial_values=instance.initial_values,
+        context=instance.context,
     )

@@ -1,4 +1,10 @@
-"""Fault injection: crash schedules and Byzantine strategies."""
+"""Fault injection: crash schedules, Byzantine strategies, and the registry.
+
+:mod:`repro.faults.registry` is the public home of the named-strategy
+registry and :func:`build_byzantine`, the single resolver every execution
+path (lockstep, timed, Pcons stack, randomized) uses to turn a Byzantine
+*spec* — a name, an instance, or a factory — into a live strategy.
+"""
 
 from repro.faults.byzantine import (
     AdaptiveLiar,
@@ -11,9 +17,15 @@ from repro.faults.byzantine import (
     VoteFlipper,
 )
 from repro.faults.crash import CrashEvent, CrashSchedule
+from repro.faults.registry import (
+    STRATEGY_REGISTRY,
+    ByzantineSpec,
+    build_byzantine,
+)
 
 __all__ = [
     "AdaptiveLiar",
+    "ByzantineSpec",
     "ByzantineStrategy",
     "CrashEvent",
     "CrashSchedule",
@@ -21,6 +33,8 @@ __all__ = [
     "FakeHistoryLiar",
     "HighTimestampLiar",
     "RandomNoise",
+    "STRATEGY_REGISTRY",
     "SilentByzantine",
     "VoteFlipper",
+    "build_byzantine",
 ]

@@ -53,6 +53,7 @@ class ByzantineStrategy(RoundProcess):
         self.parameters = parameters
         self.model = parameters.model
         self.last_inbox: Inbound = {}
+        self._full_selector = frozenset(self.model.processes)
 
     @property
     def everyone(self) -> range:
@@ -60,7 +61,7 @@ class ByzantineStrategy(RoundProcess):
 
     @property
     def full_selector(self) -> frozenset:
-        return frozenset(self.model.processes)
+        return self._full_selector
 
     def receive(self, info: RoundInfo, received: Inbound) -> None:
         """Default: remember what was seen (adaptive strategies use it)."""

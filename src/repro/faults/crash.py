@@ -9,8 +9,8 @@ collecting the outbound matrix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, FrozenSet, Iterable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from repro.core.types import FaultModel, ProcessId, Round
 

@@ -21,13 +21,13 @@ crash occurs in good periods).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
 from repro.core.process import GenericConsensusProcess, RoundStructure
-from repro.core.run import ByzantineSpec, _build_byzantine
-from repro.core.types import Decision, ProcessId, RoundInfo, RoundKind, Value
+from repro.faults.registry import ByzantineSpec, build_byzantine
+from repro.core.types import Decision, ProcessId, RoundKind, Value
 from repro.network.wic import MicroOutbound, PconsImplementation
 from repro.rounds.base import DeliveryMatrix, RoundProcess, RunContext
 from repro.rounds.policies import deliver_to_byzantine, faithful_delivery
@@ -100,7 +100,7 @@ def run_with_pcons_stack(
     processes: Dict[ProcessId, RoundProcess] = {}
     for pid in model.processes:
         if pid in byzantine:
-            processes[pid] = _build_byzantine(pid, byzantine[pid], parameters)
+            processes[pid] = build_byzantine(pid, byzantine[pid], parameters)
         else:
             if pid not in initial_values:
                 raise ValueError(f"missing initial value for honest process {pid}")

@@ -1,10 +1,12 @@
 """Communication-closed round model substrate (paper Section 2.1).
 
-This package provides the execution machinery the paper's algorithms are
-expressed in: processes exposing per-round send/transition functions, a
-lockstep engine, delivery policies realizing the communication predicates
-``Pgood`` / ``Pcons`` / ``Prel``, and good/bad period schedules modelling
-partial synchrony.
+This package provides the execution vocabulary the paper's algorithms are
+expressed in: processes exposing per-round send/transition functions,
+delivery policies realizing the communication predicates ``Pgood`` /
+``Pcons`` / ``Prel``, predicate checkers, and good/bad period schedules
+modelling partial synchrony.  The round loop itself lives in the unified
+execution kernel (:mod:`repro.engine`); :class:`SyncEngine` remains here as
+a thin veneer over it for code that drives lockstep rounds step by step.
 """
 
 from repro.rounds.base import RoundProcess, RunContext

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Set
+from typing import Dict, FrozenSet, Mapping, Set
 
-from repro.core.types import FaultModel, ProcessId, Round, RoundInfo
+from repro.core.types import FaultModel, ProcessId, RoundInfo
 
 #: Messages a process emits in one round: destination → payload.
 Outbound = Mapping[ProcessId, object]

@@ -1,36 +1,25 @@
 """Lockstep executor for the communication-closed round model.
 
-The engine advances all processes round by round:
-
-1. ask every live process for its outbound messages (``S_p^r``),
-2. apply the crash schedule (a crashing process's last sends may be cut),
-3. hand the outbound matrix to the delivery policy (which realizes the
-   communication predicate in force),
-4. deliver and apply transition functions (``T_p^r``),
-5. evaluate the predicates over what actually happened and append a
-   :class:`~repro.analysis.trace.RoundRecord` to the trace.
-
-The engine guarantees *no impersonation*: a payload delivered as coming from
-``q`` was produced by ``q`` in this round (Byzantine senders choose payloads
-freely but cannot relabel them).
+:class:`SyncEngine` is the historical lockstep API, now a thin veneer over
+the unified execution kernel (:mod:`repro.engine.kernel`): it binds an
+:class:`~repro.engine.kernel.ExecutionKernel` to a
+:class:`~repro.engine.scheduler.LockstepScheduler` wrapping the given
+delivery policy, always with full observation (every round appends a
+:class:`~repro.analysis.trace.RoundRecord` to the trace).  The kernel —
+not this class — owns the round loop, crash handling, decision probing and
+the no-impersonation guarantee; see its docstring for the per-round steps.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
 from repro.analysis.trace import ExecutionTrace, RoundRecord
 from repro.core.types import Decision, FaultModel, ProcessId, Round, RoundInfo
 from repro.faults.crash import CrashSchedule
-from repro.rounds.base import (
-    DeliveryMatrix,
-    OutboundMatrix,
-    RoundProcess,
-    RunContext,
-)
+from repro.rounds.base import RoundProcess, RunContext
 from repro.rounds.policies import DeliveryPolicy
-from repro.rounds.predicates import check_pcons, check_pgood, check_prel
 
 #: Maps a global round number to its (phase, kind) description.
 RoundInfoFn = Callable[[Round], RoundInfo]
@@ -78,113 +67,43 @@ class SyncEngine:
         decision_probe: Optional[DecisionProbe] = None,
         record_snapshots: bool = False,
     ) -> None:
-        if set(processes) != set(model.processes):
-            raise ValueError(
-                f"processes must cover exactly 0..{model.n - 1}, "
-                f"got {sorted(processes)}"
-            )
-        self._model = model
-        self._processes = dict(processes)
-        self._policy = policy
-        self._round_info_fn = round_info_fn
-        self._context = context or RunContext(model)
-        self._crashes = crash_schedule or CrashSchedule.none(model)
-        self._snapshot_fn = snapshot_fn
-        self._decision_probe = decision_probe
-        self._record_snapshots = record_snapshots
-        self._trace = ExecutionTrace()
-        self._next_round: Round = 1
-        self._already_decided: set[ProcessId] = set()
-        # Processes doomed to crash are not "correct" in the model's sense:
-        # predicates only protect processes that never crash.
-        self._eventually_correct = frozenset(
-            pid
-            for pid in model.processes
-            if pid not in self._context.byzantine and pid not in self._crashes.doomed
+        # Imported here: repro.engine.kernel imports repro.rounds.predicates
+        # (and thus this package), so a module-level import would be circular.
+        from repro.engine.kernel import OBSERVE_FULL, ExecutionKernel
+        from repro.engine.scheduler import LockstepScheduler
+
+        self._kernel = ExecutionKernel(
+            model,
+            processes,
+            LockstepScheduler(policy),
+            round_info_fn,
+            context=context,
+            crash_schedule=crash_schedule,
+            snapshot_fn=snapshot_fn,
+            decision_probe=decision_probe,
+            record_snapshots=record_snapshots,
+            observe=OBSERVE_FULL,
         )
 
     @property
     def context(self) -> RunContext:
-        return self._context
+        return self._kernel.context
 
     @property
     def trace(self) -> ExecutionTrace:
-        return self._trace
+        trace = self._kernel.trace
+        assert trace is not None  # full observation is unconditional here
+        return trace
 
     @property
     def eventually_correct(self) -> frozenset:
         """Honest processes that never crash during this run."""
-        return self._eventually_correct
-
-    def _collect_outbound(self, info: RoundInfo) -> OutboundMatrix:
-        outbound: OutboundMatrix = {}
-        for pid, process in self._processes.items():
-            if self._crashes.is_down(pid, info.number):
-                continue
-            raw = process.send(info)
-            filtered = self._crashes.filter_outbound(pid, info.number, raw)
-            # Drop messages addressed outside Π (defensive).
-            outbound[pid] = {
-                dest: payload
-                for dest, payload in filtered.items()
-                if 0 <= dest < self._model.n
-            }
-        return outbound
-
-    def _apply_transitions(self, info: RoundInfo, matrix: DeliveryMatrix) -> None:
-        for pid, process in self._processes.items():
-            if self._crashes.is_down(pid, info.number):
-                continue
-            event = self._crashes.event_for(pid)
-            if event is not None and info.number >= event.round:
-                # The process crashed during its send step this round; it
-                # performs no transition and is marked crashed.
-                self._context.mark_crashed(pid)
-                continue
-            process.receive(info, matrix.get(pid, {}))
-
-    def _probe_decisions(self, info: RoundInfo) -> tuple:
-        if self._decision_probe is None:
-            return ()
-        fired = []
-        for pid, process in self._processes.items():
-            if pid in self._already_decided or pid in self._context.byzantine:
-                continue
-            decision = self._decision_probe(pid, process, info)
-            if decision is not None:
-                fired.append(decision)
-                self._already_decided.add(pid)
-        return tuple(fired)
+        return self._kernel.eventually_correct
 
     def step(self) -> RoundRecord:
         """Execute one round and return its record."""
-        info = self._round_info_fn(self._next_round)
-        outbound = self._collect_outbound(info)
-        matrix = self._policy.deliver(info, outbound, self._context)
-        self._apply_transitions(info, matrix)
-
-        correct = self._eventually_correct
-        minimum = self._model.n - self._model.b - self._model.f
-        record = RoundRecord(
-            info=info,
-            sent_count=sum(len(msgs) for msgs in outbound.values()),
-            delivered_count=sum(len(inbox) for inbox in matrix.values()),
-            pgood=check_pgood(outbound, matrix, correct),
-            pcons=check_pcons(outbound, matrix, correct),
-            prel=check_prel(matrix, correct, minimum),
-            snapshots=(
-                {
-                    pid: self._snapshot_fn(pid, process)
-                    for pid, process in self._processes.items()
-                    if pid not in self._context.byzantine
-                }
-                if (self._record_snapshots and self._snapshot_fn is not None)
-                else {}
-            ),
-            decisions=self._probe_decisions(info),
-        )
-        self._trace.append(record)
-        self._next_round += 1
+        record = self._kernel.step()
+        assert record is not None  # full observation is unconditional here
         return record
 
     def run(
@@ -200,8 +119,8 @@ class SyncEngine:
         while executed < max_rounds:
             self.step()
             executed += 1
-            if stop_when is not None and stop_when(self._trace):
+            if stop_when is not None and stop_when(self.trace):
                 break
         return EngineResult(
-            trace=self._trace, context=self._context, rounds_executed=executed
+            trace=self.trace, context=self.context, rounds_executed=executed
         )

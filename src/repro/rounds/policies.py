@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import AbstractSet, Callable, Dict, Iterable, Optional, Set
+from typing import AbstractSet, Callable, Iterable, Optional, Set
 
 from repro.core.types import ProcessId, RoundInfo, RoundKind
 from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
@@ -74,33 +74,44 @@ def enforce_pcons(outbound: OutboundMatrix, ctx: RunContext) -> DeliveryMatrix:
     correct = ctx.correct
     audience: Set[ProcessId] = set()
     for sender in correct:
-        for dest in outbound.get(sender, {}):
-            if dest in correct:
-                audience.add(dest)
-
-    matrix: DeliveryMatrix = {}
-    for sender, messages in outbound.items():
+        messages = outbound.get(sender)
         if not messages:
             continue
-        reaches_audience = any(dest in audience for dest in messages)
-        if audience and reaches_audience:
+        if messages.keys() >= correct:
+            # Broadcast fast path: one correct sender addressing every
+            # correct process already makes the audience maximal.
+            audience = set(correct)
+            break
+        audience.update(dest for dest in messages if dest in correct)
+
+    matrix: DeliveryMatrix = {receiver: {} for receiver in audience}
+    min_audience = min(audience) if audience else None
+    for sender, messages in outbound.items():
+        if not messages or not audience:
+            continue
+        if min_audience in messages:
+            # Broadcasts always address the lowest-id audience member.
+            canonical = messages[min_audience]
+        else:
             canonical_dest = min(
                 (dest for dest in messages if dest in audience), default=None
             )
-            if canonical_dest is None:  # pragma: no cover - guarded above
+            if canonical_dest is None:
                 continue
             canonical = messages[canonical_dest]
-            for receiver in audience:
-                matrix.setdefault(receiver, {})[sender] = canonical
+        for inbox in matrix.values():
+            inbox[sender] = canonical
     deliver_to_byzantine(matrix, outbound, ctx)
     return matrix
 
 
 def enforce_pgood(outbound: OutboundMatrix, ctx: RunContext) -> DeliveryMatrix:
-    """Faithful delivery — trivially satisfies ``Pgood``."""
-    matrix = faithful_delivery(outbound)
-    deliver_to_byzantine(matrix, outbound, ctx)
-    return matrix
+    """Faithful delivery — trivially satisfies ``Pgood``.
+
+    Faithful delivery already hands Byzantine receivers everything
+    addressed to them, so no extra ``deliver_to_byzantine`` pass is needed.
+    """
+    return faithful_delivery(outbound)
 
 
 class DeliveryPolicy(abc.ABC):

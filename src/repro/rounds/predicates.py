@@ -20,7 +20,7 @@ Definitions (C = set of correct processes):
 
 from __future__ import annotations
 
-from typing import AbstractSet, Mapping
+from typing import AbstractSet
 
 from repro.core.types import ProcessId
 from repro.rounds.base import DeliveryMatrix, OutboundMatrix

@@ -16,7 +16,7 @@ example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.algorithms.registry import AlgorithmSpec

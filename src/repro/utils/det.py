@@ -18,7 +18,11 @@ def _sort_key(value: Hashable) -> tuple[str, str]:
 
     Python cannot compare values of unrelated types, so we order first by the
     type name and then by ``repr``.  The ordering is arbitrary but total and
-    deterministic, which is all line 11 of Algorithm 1 requires.
+    deterministic, which is all line 11 of Algorithm 1 requires.  Kept
+    deliberately cache-free: memoizing by equality would let equal values
+    with distinct reprs (``Decimal('1')`` / ``Decimal('1.0')``) alias a
+    slot, making the choice depend on process history — which would break
+    the campaign engine's identical-results-at-any-worker-count guarantee.
     """
     return (type(value).__name__, repr(value))
 
@@ -28,8 +32,17 @@ def deterministic_choice(values: Iterable[Hashable]) -> Hashable:
 
     Raises :class:`ValueError` on an empty iterable: callers must only invoke
     the choice when at least one vote was received.
+
+    Duplicates are collapsed first (``dict.fromkeys``, keeping the first
+    occurrence as the representative), so the ``repr``-based key is computed
+    once per distinct value instead of once per vote — a vector of n votes
+    usually carries only a couple of distinct values.  The result is a pure
+    function of the value sequence; among ``==``-equal candidates the first
+    received is returned, which is sound because the library treats equal
+    values as interchangeable everywhere (FLV counters, histories and
+    decision sets all collapse them).
     """
-    pool = list(values)
+    pool = list(dict.fromkeys(values))
     if not pool:
         raise ValueError("deterministic_choice requires at least one value")
     return min(pool, key=_sort_key)

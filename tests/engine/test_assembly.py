@@ -1,0 +1,93 @@
+"""Instance assembly and the public Byzantine-strategy registry."""
+
+import pytest
+
+from repro.algorithms import build_pbft
+from repro.core.process import GenericConsensusProcess
+from repro.core.run import STRATEGY_REGISTRY as LEGACY_REGISTRY
+from repro.core.run import _build_byzantine
+from repro.engine.assembly import build_instance
+from repro.faults import STRATEGY_REGISTRY, build_byzantine
+from repro.faults.byzantine import ByzantineStrategy, SilentByzantine
+
+
+@pytest.fixture
+def pbft4():
+    return build_pbft(4)
+
+
+class TestBuildInstance:
+    def test_assembles_honest_and_byzantine(self, pbft4):
+        instance = build_instance(
+            pbft4.parameters,
+            {0: "a", 1: "b", 2: "a"},
+            byzantine={3: "equivocator"},
+        )
+        assert set(instance.processes) == {0, 1, 2, 3}
+        assert isinstance(instance.processes[0], GenericConsensusProcess)
+        assert isinstance(instance.processes[3], ByzantineStrategy)
+        assert instance.context.byzantine == frozenset({3})
+        assert instance.initial_values == {0: "a", 1: "b", 2: "a"}
+
+    def test_missing_initial_value(self, pbft4):
+        with pytest.raises(ValueError, match="missing initial value"):
+            build_instance(pbft4.parameters, {0: "a"})
+
+    def test_byzantine_budget_enforced(self, pbft4):
+        with pytest.raises(ValueError, match="exceed b"):
+            build_instance(
+                pbft4.parameters,
+                {0: "a", 1: "b"},
+                byzantine={2: "silent", 3: "silent"},
+            )
+
+    def test_config_factory_gives_distinct_configs(self, pbft4):
+        from repro.core.parameters import GenericConsensusConfig
+
+        configs = {}
+
+        def config_for(pid):
+            configs[pid] = GenericConsensusConfig()
+            return configs[pid]
+
+        instance = build_instance(
+            pbft4.parameters,
+            {pid: "v" for pid in range(4)},
+            config_for=config_for,
+        )
+        assert set(configs) == {0, 1, 2, 3}
+        for pid, process in instance.honest_processes.items():
+            assert process.config is configs[pid]
+
+    def test_shared_structure_is_reused(self, pbft4):
+        values = {pid: "v" for pid in range(4)}
+        first = build_instance(pbft4.parameters, values)
+        second = build_instance(pbft4.parameters, values)
+        assert first.structure is second.structure
+
+
+class TestRegistry:
+    def test_names_resolve(self, pbft4):
+        for name in STRATEGY_REGISTRY:
+            strategy = build_byzantine(3, name, pbft4.parameters)
+            assert isinstance(strategy, ByzantineStrategy)
+
+    def test_instance_passthrough(self, pbft4):
+        strategy = SilentByzantine(3, pbft4.parameters)
+        assert build_byzantine(3, strategy, pbft4.parameters) is strategy
+
+    def test_factory_spec(self, pbft4):
+        built = build_byzantine(3, SilentByzantine, pbft4.parameters)
+        assert isinstance(built, SilentByzantine)
+
+    def test_unknown_name(self, pbft4):
+        with pytest.raises(ValueError, match="unknown Byzantine strategy"):
+            build_byzantine(3, "no-such-strategy", pbft4.parameters)
+
+    def test_legacy_registry_is_the_same_object(self):
+        assert LEGACY_REGISTRY is STRATEGY_REGISTRY
+
+    def test_private_alias_is_deprecated(self, pbft4):
+        with pytest.warns(DeprecationWarning, match="build_byzantine"):
+            strategy = _build_byzantine(3, "silent", pbft4.parameters)
+        assert isinstance(strategy, SilentByzantine)

@@ -1,0 +1,117 @@
+"""Lockstep-vs-timed equivalence: one transition system, two clocks.
+
+With a reliable network that is synchronous from the start (``gst = 0``,
+every latency ≤ δ and ``Δ ≥ δ``), the timed scheduler delivers every message
+within its round deadline — exactly the ``Pgood``/``Pcons`` oracle the
+lockstep scheduler realizes.  The two disciplines must then produce the same
+executions: identical decisions (value, round, phase) and identical round
+counts, for every algorithm class and fault script.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    build_chandra_toueg,
+    build_fab_paxos,
+    build_mqb,
+    build_one_third_rule,
+    build_paxos,
+    build_pbft,
+)
+from repro.engine.assembly import build_instance
+from repro.engine.kernel import OBSERVE_METRICS, run_instance
+from repro.engine.scheduler import LockstepScheduler, TimedScheduler
+from repro.eventsim.network import FixedLatency, PartialSynchronyNetwork
+
+
+def reliable_network():
+    """Synchronous from time 0 with latency ≤ δ < Δ: every round is good."""
+    return PartialSynchronyNetwork(FixedLatency(1.0), gst=0.0, delta=2.0, seed=0)
+
+
+def run_both(spec, byzantine):
+    model = spec.parameters.model
+    values = {
+        pid: f"v{pid % 2}" for pid in model.processes if pid not in byzantine
+    }
+
+    def execute(scheduler):
+        instance = build_instance(
+            spec.parameters, values, config=spec.config, byzantine=byzantine
+        )
+        return run_instance(
+            instance, scheduler, max_phases=12, observe=OBSERVE_METRICS
+        )
+
+    lockstep = execute(LockstepScheduler())
+    timed = execute(TimedScheduler(reliable_network(), round_duration=2.5))
+    return lockstep, timed
+
+
+ALGORITHMS = [
+    ("one-third-rule", build_one_third_rule, 4),
+    ("fab-paxos", build_fab_paxos, 6),
+    ("mqb", build_mqb, 5),
+    ("paxos", build_paxos, 3),
+    ("chandra-toueg", build_chandra_toueg, 3),
+    ("pbft", build_pbft, 4),
+]
+
+#: Scripted adversaries whose behaviour does not depend on the discipline.
+STRATEGIES = ["silent", "equivocator", "vote-flipper", "high-ts-liar",
+              "fake-history-liar"]
+
+
+class TestFaultFreeEquivalence:
+    @pytest.mark.parametrize("name,builder,n", ALGORITHMS)
+    def test_same_decisions_and_round_counts(self, name, builder, n):
+        lockstep, timed = run_both(builder(n), byzantine={})
+        assert lockstep.decisions == timed.decisions
+        assert lockstep.rounds_executed == timed.rounds_executed
+        assert lockstep.all_correct_decided and timed.all_correct_decided
+
+    @pytest.mark.parametrize("name,builder,n", ALGORITHMS)
+    def test_same_message_accounting(self, name, builder, n):
+        lockstep, timed = run_both(builder(n), byzantine={})
+        assert lockstep.messages_sent == timed.messages_sent
+        # Under a reliable synchronous network nothing misses its deadline.
+        assert timed.messages_dropped == 0
+
+
+class TestByzantineEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize(
+        "builder,n", [(build_pbft, 4), (build_mqb, 5), (build_fab_paxos, 6)]
+    )
+    def test_same_decisions_under_attack(self, builder, n, strategy):
+        spec = builder(n)
+        model = spec.parameters.model
+        byzantine = {model.n - 1: strategy}
+        lockstep, timed = run_both(spec, byzantine)
+        assert lockstep.decisions == timed.decisions
+        assert lockstep.rounds_executed == timed.rounds_executed
+        assert lockstep.agreement_holds and timed.agreement_holds
+
+
+class TestDivergenceOutsideTheOverlap:
+    def test_pre_gst_timed_runs_may_starve_rounds(self):
+        """Before the GST the timed discipline loses messages — the regime
+        where the two schedulers legitimately differ."""
+        spec = build_pbft(4)
+        model = spec.parameters.model
+        values = {pid: f"v{pid % 2}" for pid in range(3)}
+        instance = build_instance(
+            spec.parameters, values, byzantine={model.n - 1: "equivocator"}
+        )
+        chaotic = PartialSynchronyNetwork(
+            FixedLatency(1.0), gst=1e9, delta=2.0,
+            pre_gst_delay_prob=0.9, seed=3,
+        )
+        timed = run_instance(
+            instance,
+            TimedScheduler(chaotic, round_duration=2.5),
+            max_phases=8,
+            observe=OBSERVE_METRICS,
+        )
+        assert timed.messages_dropped > 0
+        assert timed.agreement_holds  # safety must survive regardless

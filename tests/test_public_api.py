@@ -9,6 +9,7 @@ import repro
 PUBLIC_MODULES = [
     "repro",
     "repro.core",
+    "repro.engine",
     "repro.rounds",
     "repro.network",
     "repro.faults",
