@@ -35,30 +35,63 @@ from repro.engine.assembly import build_instance
 from repro.engine.kernel import OBSERVE_FULL, OBSERVE_METRICS, run_instance
 from repro.engine.scheduler import LockstepScheduler, TimedScheduler
 from repro.eventsim.network import PartialSynchronyNetwork, UniformLatency
+from repro.scenarios import compile_scenario, get_scenario
 
 #: The acceptance cell: metrics mode must be ≥ 2x full observation here.
 ACCEPTANCE_CELL = "table1-otr-n30"
 ACCEPTANCE_SPEEDUP = 2.0
 
 CELLS = (
-    # (name, builder, n, byzantine strategy for the last b processes)
-    ("table1-otr-n30", build_one_third_rule, 30, None),
-    ("table1-pbft-n4-byz", build_pbft, 4, "equivocator"),
-    ("table1-fab-n6-byz", build_fab_paxos, 6, "equivocator"),
+    # (name, builder, n, byzantine strategy for the last b processes,
+    #  registered scenario — compiled per run when set, as campaigns do)
+    ("table1-otr-n30", build_one_third_rule, 30, None, None),
+    ("table1-pbft-n4-byz", build_pbft, 4, "equivocator", None),
+    ("table1-fab-n6-byz", build_fab_paxos, 6, "equivocator", None),
+    # The adversarial cell: a compiled partition/GST scenario at sweep
+    # scale, proving scenario compilation stays off the hot path.
+    ("scenario-partition-pbft-n10", build_pbft, 10, None, "partition_heal"),
 )
 
 
 def make_runner(
-    builder, n: int, byz: Optional[str], engine: str, observe: str
+    builder,
+    n: int,
+    byz: Optional[str],
+    engine: str,
+    observe: str,
+    scenario: Optional[str] = None,
 ) -> Callable[[], None]:
     """One closure executing the cell once (assembly included, as sweeps do)."""
     spec = builder(n)
     model = spec.parameters.model
+    parameters, config = spec.parameters, spec.config
+
+    if scenario is not None:
+        scenario_spec = get_scenario(scenario)
+
+        def run() -> None:
+            compiled = compile_scenario(scenario_spec, model, engine, 7)
+            instance = build_instance(
+                parameters,
+                compiled.honest_values(),
+                config=config,
+                byzantine=compiled.byzantine,
+            )
+            outcome = run_instance(
+                instance,
+                compiled.scheduler,
+                max_phases=compiled.max_phases(),
+                observe=observe,
+                crash_schedule=compiled.crash_schedule,
+            )
+            assert outcome.agreement_holds
+
+        return run
+
     byzantine = {model.n - 1 - i: byz for i in range(model.b)} if byz else {}
     values = {
         pid: f"v{pid % 2}" for pid in model.processes if pid not in byzantine
     }
-    parameters, config = spec.parameters, spec.config
 
     def run() -> None:
         instance = build_instance(
@@ -138,12 +171,12 @@ def main(argv=None) -> int:
 
     results: List[Dict] = []
     speedups: Dict[str, float] = {}
-    for name, builder, n, byz in CELLS:
+    for name, builder, n, byz, scenario in CELLS:
         for engine in ("lockstep", "timed"):
             rates = {}
             for observe in (OBSERVE_FULL, OBSERVE_METRICS):
                 sample = measure(
-                    make_runner(builder, n, byz, engine, observe),
+                    make_runner(builder, n, byz, engine, observe, scenario),
                     budget=args.budget,
                     seconds=args.seconds,
                 )

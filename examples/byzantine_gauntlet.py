@@ -1,24 +1,35 @@
 #!/usr/bin/env python3
-"""The Byzantine gauntlet: every attack strategy against every Byzantine
-algorithm at its minimal resilience, plus the new MQB in the n=5, b=1 gap
-where FaB Paxos cannot exist.
+"""The Byzantine gauntlet, on the declarative scenario layer.
+
+Every attack strategy is expressed as an inline
+:class:`~repro.scenarios.ScenarioSpec` and compiled through
+:func:`~repro.scenarios.run_scenario` against every Byzantine algorithm at
+its minimal resilience — the same compiler the campaign engine and the CLI
+use, so each cell here is one ``repro scenario run`` away.  The registered
+presets then run on *both* engines, and the new MQB is shown in the
+n=5, b=1 gap where FaB Paxos cannot exist.
 
 Run:  python examples/byzantine_gauntlet.py
 """
 
 from repro.algorithms import build_fab_paxos, build_mqb, build_pbft
 from repro.analysis.reporting import format_table
-from repro.core.run import STRATEGY_REGISTRY
+from repro.faults.registry import STRATEGY_REGISTRY
+from repro.scenarios import ScenarioSpec, list_scenarios, run_scenario
 
 
-def main():
-    specs = [build_pbft(4), build_mqb(5), build_fab_paxos(6)]
+def attack_rows():
+    """Every named strategy as a one-slot scenario, per algorithm."""
     rows = []
-    for spec in specs:
+    for spec in (build_pbft(4), build_mqb(5), build_fab_paxos(6)):
         model = spec.parameters.model
-        values = {pid: f"v{pid % 2}" for pid in range(model.n - 1)}
         for strategy in sorted(STRATEGY_REGISTRY):
-            outcome = spec.run(values, byzantine={model.n - 1: strategy})
+            scenario = ScenarioSpec(
+                name=f"attack-{strategy}", byzantine=(strategy,)
+            )
+            outcome = run_scenario(
+                scenario, spec.parameters, config=spec.config, rng=0
+            )
             rows.append(
                 [
                     spec.name,
@@ -29,10 +40,44 @@ def main():
                     outcome.phases_to_last_decision,
                 ]
             )
+    return rows
+
+
+def preset_rows():
+    """The registered scenario catalogue against PBFT, on both engines."""
+    spec = build_pbft(4)
+    rows = []
+    for scenario in list_scenarios():
+        for engine in ("lockstep", "timed"):
+            outcome = run_scenario(
+                scenario, spec.parameters, config=spec.config,
+                engine=engine, rng=7,
+            )
+            rows.append(
+                [
+                    scenario.name,
+                    engine,
+                    "ok" if outcome.agreement_holds else "VIOLATED",
+                    "ok" if outcome.all_correct_decided else "STUCK",
+                    outcome.rounds_executed,
+                ]
+            )
+    return rows
+
+
+def main():
     print(
         format_table(
             ["algorithm", "model", "attack", "agreement", "termination", "phases"],
-            rows,
+            attack_rows(),
+        )
+    )
+
+    print("\nRegistered scenarios against PBFT (both engines):")
+    print(
+        format_table(
+            ["scenario", "engine", "agreement", "termination", "rounds"],
+            preset_rows(),
         )
     )
 

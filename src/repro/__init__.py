@@ -31,12 +31,29 @@ complete execution trace and the trace-free hot path campaign sweeps use.
 :func:`run_consensus` and :func:`repro.eventsim.run_timed_consensus` are
 thin compatibility wrappers over it.
 
+Scenarios
+---------
+
+:mod:`repro.scenarios` is the one dialect every environment is described
+in: a declarative :class:`~repro.scenarios.ScenarioSpec` (Byzantine
+placement and strategy per slot, crash script, communication schedule —
+reliable / good-bad with pluggable bad behaviour / partition / i.i.d. loss
+/ silence / GST — and timed-network conditions) compiles onto **both**
+schedulers via :func:`~repro.scenarios.compile_scenario`.  Named presets
+live in :data:`~repro.scenarios.SCENARIO_REGISTRY` (``repro scenario
+list``); the adversary presets, the campaign ``scenarios`` axis and the
+``gauntlet`` campaign all resolve through it::
+
+    from repro.scenarios import run_scenario
+
+    outcome = run_scenario("partition_heal", params, engine="timed", rng=7)
+
 Campaigns
 ---------
 
 :mod:`repro.campaigns` scales single runs into declarative scenario
 sweeps: a :class:`~repro.campaigns.CampaignSpec` crosses algorithms,
-``(n, b, f)`` models, fault scripts, network conditions, engines and
+``(n, b, f)`` models, scenarios, engines and
 repetitions into a grid; :func:`~repro.campaigns.run_campaign` executes it
 on a process pool with per-run fault isolation and coordinate-derived
 seeds (byte-identical results at any worker count); results persist as

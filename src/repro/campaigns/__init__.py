@@ -1,26 +1,31 @@
 """Declarative scenario sweeps: spec → parallel runner → result store.
 
 The campaign engine turns one declarative :class:`CampaignSpec` — a
-cross-product grid over algorithms, ``(n, b, f)`` resilience points, fault
-scripts, network conditions, engines and repetitions — into per-run
-:class:`RunSpec`\\ s with deterministically derived seeds, executes them
-(inline or on a process pool) with per-run fault isolation, persists one
-JSONL row per run, and aggregates per-cell summaries::
+cross-product grid over algorithms, ``(n, b, f)`` resilience points,
+*scenarios* (declarative environments from :mod:`repro.scenarios`: Byzantine
+placement, crash scripts, communication schedules, timed-network
+conditions), engines and repetitions — into per-run :class:`RunSpec`\\ s
+with deterministically derived seeds, executes them (inline or on a process
+pool) with per-run fault isolation, persists one JSONL row per run, and
+aggregates per-cell summaries::
 
-    from repro.campaigns import CampaignSpec, FaultSpec, run_campaign
+    from repro.campaigns import CampaignSpec, run_campaign
     from repro.campaigns import summarize, format_report
 
     spec = CampaignSpec(
         name="pbft-frontier",
         algorithms=("pbft",),
         models=((4, 1, 0), (5, 1, 0)),
-        faults=(FaultSpec(), FaultSpec(byzantine="equivocator")),
+        scenarios=("fault-free", "worst_case", "partition_heal"),
         repetitions=3,
     )
     rows = run_campaign(spec, workers=4)
     print(format_report(summarize(rows)))
 
-The same campaign seed yields byte-identical results at any worker count.
+The legacy ``faults`` × ``networks`` axes are still accepted and fold into
+equivalent scenarios with unchanged coordinate strings, so existing specs
+keep their derived seeds.  The same campaign seed yields byte-identical
+results at any worker count.
 """
 
 from repro.campaigns.aggregate import (
@@ -48,6 +53,7 @@ from repro.campaigns.spec import (
     load_spec,
     resolve_algorithm,
 )
+from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "BUILTIN_CAMPAIGNS",
@@ -58,6 +64,7 @@ __all__ = [
     "NetworkSpec",
     "ResultStore",
     "RunSpec",
+    "ScenarioSpec",
     "derive_seed",
     "execute_run",
     "format_report",

@@ -13,7 +13,11 @@ Each preset is a :class:`~repro.campaigns.spec.CampaignSpec` runnable as
 * ``latency-gst`` — the timed-engine GST sensitivity curve (decision time
   tracks the global stabilization time);
 * ``grid-demo`` — a fast ≥ 100-run mixed lockstep/timed grid used by the
-  acceptance check and the quickstart.
+  acceptance check and the quickstart;
+* ``gauntlet`` — every scenario registered in
+  :data:`~repro.scenarios.registry.SCENARIO_REGISTRY` crossed with every
+  FLV algorithm class on both engines: the disruption-tolerance sweep
+  (partitions, GST prefixes, loss, withholding, crash storms) in one grid.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from typing import Dict, Tuple
 
 from repro.analysis.resilience import DEFAULT_BYZANTINE_SCENARIOS
 from repro.campaigns.spec import CampaignSpec, FaultSpec, NetworkSpec
+from repro.scenarios.registry import SCENARIO_REGISTRY
 
 #: The adversarial battery used by the per-class figure sweeps — the same
 #: battery :func:`repro.analysis.resilience.sweep_class` runs, so the two
@@ -79,6 +84,17 @@ BUILTIN_CAMPAIGNS: Dict[str, CampaignSpec] = {
         repetitions=5,
         seed=11,
         max_phases=40,
+    ),
+    "gauntlet": CampaignSpec(
+        name="gauntlet",
+        algorithms=("class-1", "class-2", "class-3"),
+        # (7,1,1) admits classes 2-3, (9,1,1) all three (n > 5b + 3f);
+        # f = 1 gives the crash scenarios room on both engines.
+        models=((7, 1, 1), (9, 1, 1)),
+        engines=("lockstep", "timed"),
+        scenarios=tuple(sorted(SCENARIO_REGISTRY)),
+        max_phases=18,
+        seed=5,
     ),
     "grid-demo": CampaignSpec(
         name="grid-demo",

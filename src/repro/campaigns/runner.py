@@ -4,7 +4,14 @@
 plain result-row dict and **never raises**: a crashing scenario produces a
 ``status="error"`` row (with the exception) instead of killing the campaign,
 a model outside the algorithm's resilience bound an ``inadmissible`` row,
-and a fault script the configuration cannot host an ``inapplicable`` row.
+and a scenario the configuration cannot host an ``inapplicable`` row.
+
+The run's environment comes entirely from
+:func:`~repro.scenarios.compile.compile_scenario`: the Byzantine placement,
+the crash schedule and the scheduler (either engine) are compiled from the
+run's :class:`~repro.scenarios.spec.ScenarioSpec` with the per-run derived
+seed — the runner no longer hand-assembles any of them, and crash scripts
+execute on the timed engine too (only ``crashes > f`` stays inapplicable).
 
 :func:`run_campaign` executes the grid either inline (``workers=1``) or on a
 :class:`~concurrent.futures.ProcessPoolExecutor` with chunked dispatch.
@@ -28,8 +35,8 @@ from repro.campaigns.spec import CampaignSpec, RunSpec, resolve_algorithm
 from repro.core.types import FaultModel
 from repro.engine.assembly import build_instance
 from repro.engine.kernel import OBSERVE_METRICS, run_instance
-from repro.engine.scheduler import LockstepScheduler, TimedScheduler
-from repro.faults.crash import CrashEvent, CrashSchedule
+from repro.scenarios.compile import ScenarioInapplicable, compile_scenario
+from repro.scenarios.spec import split_values
 
 #: Result-row type: one flat JSON-serializable mapping per run.
 Row = Dict[str, object]
@@ -52,8 +59,8 @@ def _base_row(run: RunSpec) -> Row:
         "b": run.b,
         "f": run.f,
         "engine": run.engine,
-        "fault": run.fault.describe(),
-        "network": run.network.describe(),
+        "fault": run.scenario.describe_fault(),
+        "network": run.scenario.describe_network(),
         "rep": run.rep,
         "seed": run.seed,
         "status": STATUS_OK,
@@ -74,23 +81,6 @@ def _base_row(run: RunSpec) -> Row:
 
 def _describe_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
-
-
-def _inapplicable(run: RunSpec, model: FaultModel) -> Optional[str]:
-    """Why this fault script cannot run under this configuration, if so."""
-    fault = run.fault
-    if fault.byzantine and model.b == 0:
-        return "byzantine fault script but model has b = 0"
-    crashes = fault.crash_count(model)
-    if crashes > model.f:
-        return f"fault script crashes {crashes} > f = {model.f} processes"
-    if crashes and run.engine == "timed":
-        # The kernel itself can host crash schedules under the timed
-        # scheduler (run_timed_consensus exposes crash_schedule=), but the
-        # campaign schema keeps crash scripts on the lockstep engine so
-        # existing specs and their aggregations stay stable.
-        return "crash scripts run on the lockstep engine only"
-    return None
 
 
 def execute_run(run: RunSpec) -> Row:
@@ -125,50 +115,33 @@ def execute_run(run: RunSpec) -> Row:
         )
         return row
 
-    reason = _inapplicable(run, model)
-    if reason is not None:
-        row.update(status=STATUS_INAPPLICABLE, error=reason)
+    try:
+        compiled = compile_scenario(run.scenario, model, run.engine, run.seed)
+    except ScenarioInapplicable as exc:
+        row.update(status=STATUS_INAPPLICABLE, error=str(exc))
+        return row
+    except Exception as exc:
+        row.update(status=STATUS_ERROR, error=_describe_error(exc))
         return row
 
-    fault = run.fault
-    byzantine: Dict[int, str] = {}
-    if fault.byzantine:
-        byzantine = {model.n - 1 - i: fault.byzantine for i in range(model.b)}
-    initial_values = {
-        pid: f"v{pid % 2}" for pid in model.processes if pid not in byzantine
-    }
+    initial_values = split_values(model, compiled.byzantine)
+    # The campaign horizon is the floor; a scenario needing more rounds
+    # (a GST at round 10, a late partition heal) raises it.
+    max_phases = max(run.max_phases, compiled.max_phases(run.max_phases))
 
     try:
-        if run.engine == "lockstep":
-            crashes = fault.crash_count(model)
-            schedule = None
-            if crashes:
-                deliver = None if fault.clean else frozenset()
-                schedule = CrashSchedule(
-                    model,
-                    [
-                        CrashEvent(pid, fault.crash_round, deliver)
-                        for pid in range(crashes)
-                    ],
-                )
-            scheduler = LockstepScheduler()
-        else:
-            # build(run.seed) already gives the network its per-run RNG
-            # stream, so no explicit seed= reseed is needed here.
-            schedule = None
-            scheduler = TimedScheduler(
-                run.network.build(run.seed),
-                round_duration=run.network.round_duration,
-            )
         instance = build_instance(
-            parameters, initial_values, config=config, byzantine=byzantine
+            parameters,
+            initial_values,
+            config=config,
+            byzantine=compiled.byzantine,
         )
         outcome = run_instance(
             instance,
-            scheduler,
-            max_phases=run.max_phases,
+            compiled.scheduler,
+            max_phases=max_phases,
             observe=OBSERVE_METRICS,
-            crash_schedule=schedule,
+            crash_schedule=compiled.crash_schedule,
         )
         row.update(
             decided=len(outcome.decisions),

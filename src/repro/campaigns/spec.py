@@ -1,12 +1,20 @@
 """Declarative scenario sweeps: a campaign is a cross-product grid.
 
 A :class:`CampaignSpec` names the axes of an experiment — algorithms (builder
-names or ``class-N`` FLV classes), ``(n, b, f)`` resilience points, fault
-scripts, network conditions, engines, repetitions — and :meth:`expand`\\ s
-them into fully-resolved :class:`RunSpec` objects, one per run.  Each run's
-seed is derived deterministically from the campaign seed and the run's
-*coordinates* (not its position in the expansion), so results are
-reproducible regardless of worker count or axis ordering.
+names or ``class-N`` FLV classes), ``(n, b, f)`` resilience points,
+*scenarios* (declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+environments or registered preset names), engines, repetitions — and
+:meth:`expand`\\ s them into fully-resolved :class:`RunSpec` objects, one per
+run.  Each run's seed is derived deterministically from the campaign seed
+and the run's *coordinates* (not its position in the expansion), so results
+are reproducible regardless of worker count or axis ordering.
+
+The pre-scenario ``faults`` × ``networks`` axes are still accepted — both
+as constructor arguments and in mapping/JSON/TOML form — and fold into the
+``scenarios`` axis via :meth:`ScenarioSpec.from_legacy`; the converted
+specs ``describe()`` to the exact legacy coordinate strings, so existing
+campaigns keep their derived seeds (and fault-free rows stay
+byte-identical).
 
 Specs round-trip through plain mappings (:meth:`CampaignSpec.to_mapping` /
 :meth:`CampaignSpec.from_mapping`) and load from ``.json`` or ``.toml``
@@ -21,16 +29,14 @@ import itertools
 import json
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.classification import AlgorithmClass, build_class_parameters
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
 from repro.core.types import FaultModel
-from repro.eventsim.network import (
-    FixedLatency,
-    PartialSynchronyNetwork,
-    UniformLatency,
-)
+from repro.eventsim.network import NetworkSpec  # noqa: F401 - re-export
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
 
 #: Execution engines a campaign may select per run.
 ENGINES = ("lockstep", "timed")
@@ -50,59 +56,6 @@ def derive_seed(campaign_seed: int, key: str) -> int:
         f"{campaign_seed}:{key}".encode("utf-8"), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big") >> 1
-
-
-@dataclass(frozen=True)
-class NetworkSpec:
-    """Network conditions for timed runs (ignored by the lockstep engine).
-
-    ``kind`` selects the latency model: ``"uniform"`` samples in
-    ``[low, high]``; ``"fixed"`` always takes ``low``.  The remaining fields
-    mirror :class:`~repro.eventsim.network.PartialSynchronyNetwork`.
-    """
-
-    kind: str = "uniform"
-    low: float = 0.5
-    high: float = 2.0
-    gst: float = 0.0
-    delta: float = 2.0
-    pre_gst_delay_prob: float = 0.5
-    chaos_factor: float = 50.0
-    round_duration: float = 2.5
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("uniform", "fixed"):
-            raise ValueError(f"unknown latency kind {self.kind!r}")
-        if self.round_duration <= 0:
-            raise ValueError("round_duration must be positive")
-
-    def build(self, seed: int) -> PartialSynchronyNetwork:
-        """Instantiate the timed network with a per-run RNG stream."""
-        if self.kind == "fixed":
-            latency = FixedLatency(self.low)
-        else:
-            latency = UniformLatency(self.low, self.high)
-        return PartialSynchronyNetwork(
-            latency,
-            gst=self.gst,
-            delta=self.delta,
-            pre_gst_delay_prob=self.pre_gst_delay_prob,
-            chaos_factor=self.chaos_factor,
-            seed=seed,
-        )
-
-    def describe(self) -> str:
-        # Every field appears: two distinct specs must never alias, or they
-        # would share derived seeds and merge into one aggregation cell.
-        if self.kind == "fixed":
-            base = f"fixed[{self.low:g}]"
-        else:
-            base = f"uniform[{self.low:g},{self.high:g}]"
-        return (
-            f"{base} gst={self.gst:g} δ={self.delta:g} "
-            f"Δ={self.round_duration:g} p={self.pre_gst_delay_prob:g} "
-            f"chaos={self.chaos_factor:g}"
-        )
 
 
 @dataclass(frozen=True)
@@ -152,36 +105,51 @@ class RunSpec:
     b: int
     f: int
     engine: str
-    fault: FaultSpec
-    network: NetworkSpec
+    scenario: ScenarioSpec
     rep: int
     seed: int
     max_phases: int
 
     def key(self) -> str:
-        """Stable coordinate string (the seed-derivation input)."""
+        """Stable coordinate string (the seed-derivation input).
+
+        The fault and network slots carry the scenario's two describe
+        strings — identical to the legacy ``FaultSpec`` / ``NetworkSpec``
+        output for converted specs, so seeds survive the axis migration.
+        """
         return "|".join(
             (
                 self.algorithm,
                 f"n{self.n}b{self.b}f{self.f}",
                 self.engine,
-                self.fault.describe(),
-                self.network.describe(),
+                self.scenario.describe_fault(),
+                self.scenario.describe_network(),
                 f"rep{self.rep}",
             )
         )
 
 
+#: A scenarios-axis entry: a registered preset name or an inline spec.
+ScenarioRef = Union[str, ScenarioSpec]
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
-    """A declarative sweep: the cross product of every axis below."""
+    """A declarative sweep: the cross product of every axis below.
+
+    ``scenarios`` is the environment axis (preset names resolve through
+    :data:`~repro.scenarios.registry.SCENARIO_REGISTRY` at construction).
+    The legacy ``faults`` × ``networks`` axes are still accepted and fold
+    into equivalent scenarios — give one or the other, not both.
+    """
 
     name: str
     algorithms: Tuple[str, ...]
     models: Tuple[Tuple[int, int, int], ...]
     engines: Tuple[str, ...] = ("lockstep",)
-    faults: Tuple[FaultSpec, ...] = (FaultSpec(),)
-    networks: Tuple[NetworkSpec, ...] = (NetworkSpec(),)
+    scenarios: Tuple[ScenarioRef, ...] = ()
+    faults: Optional[Tuple[FaultSpec, ...]] = None
+    networks: Optional[Tuple[NetworkSpec, ...]] = None
     repetitions: int = 1
     seed: int = 0
     max_phases: int = 15
@@ -189,9 +157,28 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("campaign name must be non-empty")
-        for axis in ("algorithms", "models", "engines", "faults", "networks"):
+        for axis in ("algorithms", "models", "engines"):
             if not getattr(self, axis):
                 raise ValueError(f"axis {axis!r} must be non-empty")
+        legacy = self.faults is not None or self.networks is not None
+        if legacy and self.scenarios:
+            raise ValueError(
+                "give either the scenarios axis or the legacy "
+                "faults/networks axes, not both"
+            )
+        for axis in ("faults", "networks"):
+            if getattr(self, axis) is not None and not getattr(self, axis):
+                raise ValueError(f"axis {axis!r} must be non-empty")
+        if self.scenarios:
+            # Resolve preset names once; expansion then works on pure specs.
+            object.__setattr__(
+                self,
+                "scenarios",
+                tuple(
+                    get_scenario(ref) if isinstance(ref, str) else ref
+                    for ref in self.scenarios
+                ),
+            )
         for engine in self.engines:
             if engine not in ENGINES:
                 raise ValueError(
@@ -202,14 +189,26 @@ class CampaignSpec:
         if self.max_phases < 1:
             raise ValueError("max_phases must be ≥ 1")
 
+    def scenario_axis(self) -> Tuple[ScenarioSpec, ...]:
+        """The effective environment axis, legacy axes folded in."""
+        if self.scenarios:
+            return self.scenarios
+        faults = self.faults if self.faults is not None else (FaultSpec(),)
+        networks = (
+            self.networks if self.networks is not None else (NetworkSpec(),)
+        )
+        return tuple(
+            ScenarioSpec.from_legacy(fault, network)
+            for fault, network in itertools.product(faults, networks)
+        )
+
     @property
     def total_runs(self) -> int:
         return (
             len(self.algorithms)
             * len(self.models)
             * len(self.engines)
-            * len(self.faults)
-            * len(self.networks)
+            * len(self.scenario_axis())
             * self.repetitions
         )
 
@@ -220,11 +219,10 @@ class CampaignSpec:
             self.algorithms,
             self.models,
             self.engines,
-            self.faults,
-            self.networks,
+            self.scenario_axis(),
             range(self.repetitions),
         )
-        for run_id, (algorithm, (n, b, f), engine, fault, network, rep) in (
+        for run_id, (algorithm, (n, b, f), engine, scenario, rep) in (
             enumerate(grid)
         ):
             run = RunSpec(
@@ -235,8 +233,7 @@ class CampaignSpec:
                 b=b,
                 f=f,
                 engine=engine,
-                fault=fault,
-                network=network,
+                scenario=scenario,
                 rep=rep,
                 seed=0,
                 max_phases=self.max_phases,
@@ -246,24 +243,33 @@ class CampaignSpec:
 
     def to_mapping(self) -> Dict[str, object]:
         """A JSON/TOML-friendly mapping (inverse of :meth:`from_mapping`)."""
-        return {
+        mapping: Dict[str, object] = {
             "name": self.name,
             "algorithms": list(self.algorithms),
             "models": [list(model) for model in self.models],
             "engines": list(self.engines),
-            "faults": [asdict(fault) for fault in self.faults],
-            "networks": [asdict(network) for network in self.networks],
             "repetitions": self.repetitions,
             "seed": self.seed,
             "max_phases": self.max_phases,
         }
+        if self.scenarios:
+            mapping["scenarios"] = [
+                spec.to_mapping() for spec in self.scenarios
+            ]
+        # Unset legacy axes are omitted (not materialized as defaults), so
+        # from_mapping(to_mapping(spec)) == spec for every construction.
+        if self.faults is not None:
+            mapping["faults"] = [asdict(fault) for fault in self.faults]
+        if self.networks is not None:
+            mapping["networks"] = [asdict(network) for network in self.networks]
+        return mapping
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, object]) -> "CampaignSpec":
         data = dict(mapping)
         unknown = set(data) - {
-            "name", "algorithms", "models", "engines", "faults",
-            "networks", "repetitions", "seed", "max_phases",
+            "name", "algorithms", "models", "engines", "scenarios",
+            "faults", "networks", "repetitions", "seed", "max_phases",
         }
         if unknown:
             raise ValueError(f"unknown campaign keys: {sorted(unknown)}")
@@ -276,6 +282,11 @@ class CampaignSpec:
         }
         if "engines" in data:
             kwargs["engines"] = tuple(data["engines"])
+        if "scenarios" in data:
+            kwargs["scenarios"] = tuple(
+                ref if isinstance(ref, str) else ScenarioSpec.from_mapping(ref)
+                for ref in data["scenarios"]
+            )
         if "faults" in data:
             kwargs["faults"] = tuple(
                 FaultSpec(**fault) for fault in data["faults"]

@@ -8,6 +8,9 @@ Usage examples::
     python -m repro.cli table1
     python -m repro.cli sweep --class 2 --b 1 --n-max 8
     python -m repro.cli ben-or --n 3 --seeds 20
+    python -m repro.cli scenario list
+    python -m repro.cli scenario run partition_heal --algorithm pbft --n 4
+    python -m repro.cli scenario run worst_case --algorithm class-3 --n 7 --engine timed
     python -m repro.cli campaign list
     python -m repro.cli campaign run grid-demo --workers 4
     python -m repro.cli campaign run myspec.json --out results.jsonl
@@ -169,6 +172,71 @@ def _cmd_ben_or(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios
+
+    print("Registered scenarios:")
+    for spec in list_scenarios():
+        print(f"  {spec.name:<18} {spec.describe_fault()}")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.campaigns.spec import resolve_algorithm
+    from repro.scenarios import ScenarioInapplicable, get_scenario, run_scenario
+
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        model = FaultModel(args.n, args.b, args.f)
+        parameters, config = resolve_algorithm(args.algorithm, model)
+    except (KeyError, ValueError) as exc:
+        print(f"cannot build {args.algorithm}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        outcome = run_scenario(
+            spec,
+            parameters,
+            engine=args.engine,
+            rng=args.seed,
+            config=config,
+            max_phases=args.max_phases,
+        )
+    except ScenarioInapplicable as exc:
+        print(f"scenario inapplicable: {exc}", file=sys.stderr)
+        return 2
+    decided = {
+        pid: d.value for pid, d in sorted(outcome.decisions.items())
+    }
+    print(
+        f"{spec.name} [{spec.describe_fault()}] on {args.algorithm} "
+        f"n={args.n} b={args.b} f={args.f} ({args.engine}, seed {args.seed})"
+    )
+    print(f"  decided     : {decided}")
+    print(f"  agreement   : {outcome.agreement_holds}")
+    print(f"  termination : {outcome.all_correct_decided}")
+    print(f"  rounds      : {outcome.rounds_executed}")
+    print(f"  phases      : {outcome.phases_to_last_decision}")
+    print(f"  messages    : {outcome.messages_sent} sent, "
+          f"{outcome.messages_delivered} delivered, "
+          f"{outcome.messages_dropped} dropped")
+    if outcome.simulated_time is not None:
+        print(f"  time        : {outcome.simulated_time:g} "
+              f"(last decision {outcome.last_decision_time})")
+    return 0 if outcome.agreement_holds else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_scenario_list,
+        "run": _cmd_scenario_run,
+    }
+    return handlers[args.scenario_command](args)
+
+
 def _load_campaign(source: str):
     """A campaign spec from a file path or a built-in name."""
     from repro.campaigns import BUILTIN_CAMPAIGNS, load_spec
@@ -315,6 +383,25 @@ def build_parser() -> argparse.ArgumentParser:
     ben_or.add_argument("--seeds", type=int, default=20)
     ben_or.add_argument("--max-phases", type=int, default=400)
 
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenarios (list/run)"
+    )
+    ssub = scenario.add_subparsers(dest="scenario_command", required=True)
+    ssub.add_parser("list", help="list registered scenarios")
+    srun = ssub.add_parser(
+        "run", help="compile one scenario and run it on either engine"
+    )
+    srun.add_argument("name", help="a registered scenario name")
+    srun.add_argument("--algorithm", required=True,
+                      help="builder name or class-N")
+    srun.add_argument("--n", type=int, required=True)
+    srun.add_argument("--b", type=int, default=0)
+    srun.add_argument("--f", type=int, default=0)
+    srun.add_argument("--engine", choices=["lockstep", "timed"],
+                      default="lockstep")
+    srun.add_argument("--seed", type=int, default=0)
+    srun.add_argument("--max-phases", type=int, default=None)
+
     campaign = sub.add_parser(
         "campaign", help="declarative scenario sweeps (run/report/list)"
     )
@@ -357,6 +444,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": _cmd_table1,
         "sweep": _cmd_sweep,
         "ben-or": _cmd_ben_or,
+        "scenario": _cmd_scenario,
         "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.core.types import ProcessId, RoundInfo, RoundKind
 from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
@@ -34,6 +34,12 @@ from repro.rounds.policies import DeliveryPolicy, ReliablePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.eventsim.network import PartialSynchronyNetwork
+
+#: Per-message admission test for timed rounds: ``(info, sender, dest, ctx)``
+#: → deliver?  Scenario compilation uses this to host round-schedule
+#: behaviours (partitions, loss, GST prefixes) on the timed engine; a
+#: rejected message counts as dropped before any latency is sampled.
+DeliveryFilter = Callable[[RoundInfo, ProcessId, ProcessId, RunContext], bool]
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,7 @@ class TimedScheduler(RoundScheduler):
         *,
         round_duration: float = 2.5,
         selection_round_factor: float = 1.0,
+        delivery_filter: Optional[DeliveryFilter] = None,
     ) -> None:
         # Imported here: repro.eventsim.runtime (pulled in by the eventsim
         # package init) imports this module, so a module-level import of
@@ -103,6 +110,7 @@ class TimedScheduler(RoundScheduler):
         self._network = network
         self._round_duration = round_duration
         self._selection_factor = selection_round_factor
+        self._filter = delivery_filter
         self._queue = EventQueue()
         self._now = 0.0
 
@@ -125,21 +133,41 @@ class TimedScheduler(RoundScheduler):
         deadline = self._now + duration
 
         # Send step at the round's start; sample per-message transit times.
+        # The filter branch is hoisted out of the loop: filter-free runs
+        # (every pre-scenario caller) pay nothing per message.
         canonical: Dict[ProcessId, object] = {}
         dropped = 0
-        for sender, messages in outbound.items():
-            for dest, payload in messages.items():
-                if info.kind is RoundKind.SELECTION and sender in ctx.byzantine:
-                    # Pcons canonicalization: one payload per Byzantine
-                    # sender within a selection round.
-                    payload = canonical.setdefault(sender, payload)
-                transit = self._network.transit_time(self._now, sender, dest)
-                # Communication closure applies to every receiver, Byzantine
-                # included: a message missing its deadline is dropped.
-                if self._now + transit <= deadline:
-                    self._queue.push(self._now + transit, (dest, sender, payload))
-                else:
-                    dropped += 1
+        flt = self._filter
+        if flt is None:
+            for sender, messages in outbound.items():
+                for dest, payload in messages.items():
+                    if info.kind is RoundKind.SELECTION and sender in ctx.byzantine:
+                        # Pcons canonicalization: one payload per Byzantine
+                        # sender within a selection round.
+                        payload = canonical.setdefault(sender, payload)
+                    transit = self._network.transit_time(self._now, sender, dest)
+                    # Communication closure applies to every receiver,
+                    # Byzantine included: a message missing its deadline is
+                    # dropped.
+                    if self._now + transit <= deadline:
+                        self._queue.push(self._now + transit, (dest, sender, payload))
+                    else:
+                        dropped += 1
+        else:
+            for sender, messages in outbound.items():
+                for dest, payload in messages.items():
+                    if not flt(info, sender, dest, ctx):
+                        # The scenario's communication schedule suppresses
+                        # this edge (partition side, bad-period loss, …).
+                        dropped += 1
+                        continue
+                    if info.kind is RoundKind.SELECTION and sender in ctx.byzantine:
+                        payload = canonical.setdefault(sender, payload)
+                    transit = self._network.transit_time(self._now, sender, dest)
+                    if self._now + transit <= deadline:
+                        self._queue.push(self._now + transit, (dest, sender, payload))
+                    else:
+                        dropped += 1
 
         # Deliver everything that makes the deadline, in arrival order.
         matrix: DeliveryMatrix = {}

@@ -16,6 +16,14 @@ from typing import Optional
 
 from repro.core.types import ProcessId
 
+__all__ = [
+    "FixedLatency",
+    "LatencyModel",
+    "NetworkSpec",
+    "PartialSynchronyNetwork",
+    "UniformLatency",
+]
+
 
 class LatencyModel(abc.ABC):
     """Samples one-way message latencies."""
@@ -100,3 +108,58 @@ class PartialSynchronyNetwork:
         if self._rng.random() < self._delay_prob:
             return base * self._chaos
         return base
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Declarative timed-network conditions (ignored by the lockstep engine).
+
+    ``kind`` selects the latency model: ``"uniform"`` samples in
+    ``[low, high]``; ``"fixed"`` always takes ``low``.  The remaining fields
+    mirror :class:`PartialSynchronyNetwork`.  Scenario and campaign specs
+    embed this object; :meth:`build` instantiates the network with a per-run
+    RNG stream.
+    """
+
+    kind: str = "uniform"
+    low: float = 0.5
+    high: float = 2.0
+    gst: float = 0.0
+    delta: float = 2.0
+    pre_gst_delay_prob: float = 0.5
+    chaos_factor: float = 50.0
+    round_duration: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "fixed"):
+            raise ValueError(f"unknown latency kind {self.kind!r}")
+        if self.round_duration <= 0:
+            raise ValueError("round_duration must be positive")
+
+    def build(self, seed: int) -> PartialSynchronyNetwork:
+        """Instantiate the timed network with a per-run RNG stream."""
+        if self.kind == "fixed":
+            latency = FixedLatency(self.low)
+        else:
+            latency = UniformLatency(self.low, self.high)
+        return PartialSynchronyNetwork(
+            latency,
+            gst=self.gst,
+            delta=self.delta,
+            pre_gst_delay_prob=self.pre_gst_delay_prob,
+            chaos_factor=self.chaos_factor,
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        # Every field appears: two distinct specs must never alias, or they
+        # would share derived seeds and merge into one aggregation cell.
+        if self.kind == "fixed":
+            base = f"fixed[{self.low:g}]"
+        else:
+            base = f"uniform[{self.low:g},{self.high:g}]"
+        return (
+            f"{base} gst={self.gst:g} δ={self.delta:g} "
+            f"Δ={self.round_duration:g} p={self.pre_gst_delay_prob:g} "
+            f"chaos={self.chaos_factor:g}"
+        )

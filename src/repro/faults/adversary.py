@@ -1,9 +1,16 @@
-"""Adversary scenario bundles: strategy placement + network control.
+"""Adversary scenario bundles: thin lookups into the scenario layer.
 
 A :class:`AdversaryScenario` packages everything an adversarial execution
 needs — which processes are Byzantine and with which strategy, how delivery
-behaves, and which crash schedule applies — behind named presets used by
-the sweeps, benches and examples:
+behaves, and which crash schedule applies.  Since the declarative scenario
+layer (:mod:`repro.scenarios`) exists, each preset here is a thin wrapper:
+the factory looks its :class:`~repro.scenarios.spec.ScenarioSpec` up in
+:data:`~repro.scenarios.registry.SCENARIO_REGISTRY`, compiles it for the
+requested model, and :meth:`AdversaryScenario.run` executes through the
+unified kernel (:func:`repro.engine.run_instance`).  The old private run
+path — hand-assembled policies handed to ``run_consensus`` — is kept only
+for callers that override ``policy=``/``crash_schedule=`` explicitly, and
+is deprecated.
 
 =====================  =========================================================
 preset                 description
@@ -15,36 +22,51 @@ preset                 description
 ``silent_minority``    max-b silent Byzantine (pure withholding)
 ``crash_storm``        benign: all f crashes land in the first round
 =====================  =========================================================
+
+(These five and more are also registered as campaign-sweepable scenarios;
+see ``repro scenario list``.)
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.parameters import ConsensusParameters
-from repro.core.run import ByzantineSpec, ConsensusOutcome, run_consensus
+from repro.core.run import (
+    ByzantineSpec,
+    ConsensusOutcome,
+    outcome_from_kernel,
+    run_consensus,
+)
 from repro.core.types import FaultModel, ProcessId, Value
 from repro.faults.crash import CrashSchedule
-from repro.rounds.policies import (
-    DeliveryPolicy,
-    GoodBadPolicy,
-    ReliablePolicy,
-    partition_behavior,
-)
-from repro.rounds.schedule import GoodBadSchedule
+from repro.rounds.policies import DeliveryPolicy
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass
 class AdversaryScenario:
-    """A named, reproducible adversarial setting."""
+    """A named, reproducible adversarial setting.
+
+    When built from a preset, ``spec`` carries the declarative
+    :class:`ScenarioSpec` and :meth:`run` compiles it freshly per run (so
+    repeated runs are identically seeded); the ``byzantine`` / ``policy`` /
+    ``crash_schedule`` fields hold the compiled artifacts for inspection
+    and for callers that assembled scenarios by hand.
+    """
 
     name: str
     byzantine: Dict[ProcessId, ByzantineSpec] = field(default_factory=dict)
     policy: Optional[DeliveryPolicy] = None
     crash_schedule: Optional[CrashSchedule] = None
     max_phases: int = 15
+    #: The declarative source of this scenario (presets always set it).
+    spec: Optional[ScenarioSpec] = None
+    #: Seed for per-run compilation of ``spec``.
+    seed: int = 0
 
     def run(
         self,
@@ -52,12 +74,46 @@ class AdversaryScenario:
         initial_values: Mapping[ProcessId, Value],
         **kwargs,
     ) -> ConsensusOutcome:
-        """Execute one consensus instance under this scenario."""
-        kwargs.setdefault("byzantine", self.byzantine)
-        kwargs.setdefault("policy", self.policy)
-        kwargs.setdefault("crash_schedule", self.crash_schedule)
-        kwargs.setdefault("max_phases", self.max_phases)
-        return run_consensus(parameters, initial_values, **kwargs)
+        """Execute one consensus instance under this scenario.
+
+        Runs through the unified kernel: the spec is compiled for
+        ``parameters.model`` with this scenario's seed and executed via
+        :func:`repro.engine.run_instance`.  Explicit ``policy=`` /
+        ``crash_schedule=`` / ``byzantine=`` overrides fall back to the
+        legacy ``run_consensus`` path.
+        """
+        if self.spec is None or any(
+            key in kwargs for key in ("policy", "crash_schedule", "byzantine")
+        ):
+            kwargs.setdefault("byzantine", self.byzantine)
+            kwargs.setdefault("policy", self.policy)
+            kwargs.setdefault("crash_schedule", self.crash_schedule)
+            kwargs.setdefault("max_phases", self.max_phases)
+            return run_consensus(parameters, initial_values, **kwargs)
+
+        from repro.engine.assembly import build_instance
+        from repro.engine.kernel import OBSERVE_FULL, run_instance
+
+        compiled = compile_scenario(
+            self.spec, parameters.model, "lockstep", self.seed
+        )
+        instance = build_instance(
+            parameters,
+            initial_values,
+            config=kwargs.pop("config", None),
+            byzantine=compiled.byzantine,
+        )
+        outcome = run_instance(
+            instance,
+            compiled.scheduler,
+            max_phases=kwargs.pop("max_phases", self.max_phases),
+            observe=OBSERVE_FULL,
+            crash_schedule=compiled.crash_schedule,
+            record_snapshots=kwargs.pop("record_snapshots", False),
+        )
+        if kwargs:
+            raise TypeError(f"unexpected arguments: {sorted(kwargs)}")
+        return outcome_from_kernel(instance, outcome)
 
     def honest_values(self, model: FaultModel, split: bool = True) -> Dict:
         """Standard proposals for the scenario's honest processes."""
@@ -68,70 +124,65 @@ class AdversaryScenario:
         }
 
 
+def _from_spec(
+    spec: ScenarioSpec, model: FaultModel, seed: int = 0
+) -> AdversaryScenario:
+    """Compile a declarative spec into the legacy bundle shape."""
+    # The legacy presets degrade gracefully on models without Byzantine
+    # room instead of refusing them.
+    if spec.byzantine and model.b == 0:
+        spec = replace(spec, byzantine=(), byzantine_count=-1)
+    compiled = compile_scenario(spec, model, "lockstep", seed)
+    return AdversaryScenario(
+        name=spec.name,
+        byzantine=dict(compiled.byzantine),
+        policy=compiled.scheduler.policy,
+        crash_schedule=compiled.crash_schedule,
+        max_phases=compiled.max_phases(),
+        spec=spec,
+        seed=seed,
+    )
+
+
 def worst_case(model: FaultModel) -> AdversaryScenario:
     """Max-b Byzantine with the strongest strategy mix, full synchrony."""
-    strategies = ["equivocator", "high-ts-liar", "fake-history-liar", "adaptive-liar"]
-    byzantine = {
-        model.n - 1 - i: strategies[i % len(strategies)] for i in range(model.b)
-    }
-    return AdversaryScenario(
-        name="worst_case", byzantine=byzantine, policy=ReliablePolicy()
-    )
+    return _from_spec(get_scenario("worst_case"), model)
 
 
 def partition_heal(
     model: FaultModel, heal_round: int = 7, seed: int = 0
 ) -> AdversaryScenario:
     """A network partition until ``heal_round``, then a good period."""
-    half = model.n // 2
-    groups = [range(half), range(half, model.n)]
-    policy = GoodBadPolicy(
-        GoodBadSchedule.good_after(heal_round),
-        bad_behavior=partition_behavior(groups),
-        rng=random.Random(seed),
-    )
-    byzantine = (
-        {model.n - 1: "equivocator"} if model.b > 0 else {}
-    )
-    return AdversaryScenario(
-        name="partition_heal",
-        byzantine=byzantine,
-        policy=policy,
+    spec = get_scenario("partition_heal")
+    spec = replace(
+        spec,
+        comm=replace(spec.comm, good_from=heal_round),
         max_phases=heal_round + 8,
     )
+    return _from_spec(spec, model, seed)
 
 
 def async_then_sync(
     model: FaultModel, gst_round: int = 10, seed: int = 0
 ) -> AdversaryScenario:
     """Random loss before a GST-style round, good afterwards."""
-    policy = GoodBadPolicy(
-        GoodBadSchedule.good_after(gst_round), rng=random.Random(seed)
-    )
-    byzantine = {model.n - 1: "adaptive-liar"} if model.b > 0 else {}
-    return AdversaryScenario(
-        name="async_then_sync",
-        byzantine=byzantine,
-        policy=policy,
+    spec = get_scenario("async_then_sync")
+    spec = replace(
+        spec,
+        comm=replace(spec.comm, good_from=gst_round),
         max_phases=gst_round + 8,
     )
+    return _from_spec(spec, model, seed)
 
 
 def silent_minority(model: FaultModel) -> AdversaryScenario:
     """All b Byzantine processes withhold everything."""
-    byzantine = {model.n - 1 - i: "silent" for i in range(model.b)}
-    return AdversaryScenario(
-        name="silent_minority", byzantine=byzantine, policy=ReliablePolicy()
-    )
+    return _from_spec(get_scenario("silent_minority"), model)
 
 
 def crash_storm(model: FaultModel) -> AdversaryScenario:
     """Benign: all f crashes in round 1, messages lost."""
-    return AdversaryScenario(
-        name="crash_storm",
-        crash_schedule=CrashSchedule.crash_first_f(model, 1, clean=False),
-        policy=ReliablePolicy(),
-    )
+    return _from_spec(get_scenario("crash_storm"), model)
 
 
 #: All presets, keyed by name.

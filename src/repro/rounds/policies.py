@@ -194,7 +194,16 @@ def silent_behavior() -> BadBehavior:
 
 
 class GoodBadPolicy(DeliveryPolicy):
-    """Partial synchrony: a schedule chooses good rounds, a behaviour bad ones."""
+    """Partial synchrony: a schedule chooses good rounds, a behaviour bad ones.
+
+    The random-loss default behaviour draws from a policy-owned ``rng``
+    (never the module-level :mod:`random`), so runs are a pure function of
+    the rng threaded in — scenario compilation passes a fresh
+    ``random.Random(per_run_seed)`` per run, and callers reusing one policy
+    object across runs can :meth:`reseed` it instead.  A custom
+    ``bad_behavior`` owns its randomness; :meth:`reseed` cannot reach
+    inside it.
+    """
 
     def __init__(
         self,
@@ -202,10 +211,16 @@ class GoodBadPolicy(DeliveryPolicy):
         bad_behavior: Optional[BadBehavior] = None,
         pcons_kinds: AbstractSet[RoundKind] = DEFAULT_PCONS_KINDS,
         rng: Optional[random.Random] = None,
+        drop_prob: float = 0.5,
     ) -> None:
         self._schedule = schedule
-        self._bad = bad_behavior or random_drop_behavior(rng or random.Random(0))
+        self._rng = rng if rng is not None else random.Random(0)
+        self._bad = bad_behavior or random_drop_behavior(self._rng, drop_prob)
         self._pcons_kinds = frozenset(pcons_kinds)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the random-loss stream to a fresh per-run derivation."""
+        self._rng.seed(seed)
 
     @property
     def schedule(self) -> GoodBadSchedule:
@@ -230,8 +245,12 @@ class AsyncPrelPolicy(DeliveryPolicy):
     may see disjoint subsets, the scenario randomized algorithms must beat.
     """
 
-    def __init__(self, rng: random.Random) -> None:
-        self._rng = rng
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the adversary's choice stream to a per-run derivation."""
+        self._rng.seed(seed)
 
     def deliver(
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
@@ -257,10 +276,17 @@ class AsyncPrelPolicy(DeliveryPolicy):
 class LossyPolicy(DeliveryPolicy):
     """Unconstrained i.i.d. loss — no predicate holds; safety must survive."""
 
-    def __init__(self, rng: random.Random, drop_prob: float = 0.3) -> None:
+    def __init__(
+        self, rng: Optional[random.Random] = None, drop_prob: float = 0.3
+    ) -> None:
         if not 0.0 <= drop_prob <= 1.0:
             raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob}")
-        self._behavior = random_drop_behavior(rng, drop_prob)
+        self._rng = rng if rng is not None else random.Random(0)
+        self._behavior = random_drop_behavior(self._rng, drop_prob)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the loss stream to a per-run derivation."""
+        self._rng.seed(seed)
 
     def deliver(
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext

@@ -1,0 +1,385 @@
+"""Scenario compilation: one spec onto both timing disciplines.
+
+:func:`compile_scenario` turns a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` into the three concrete objects
+an execution needs — the Byzantine placement map, the crash schedule, and a
+ready :class:`~repro.engine.scheduler.RoundScheduler` — for either engine:
+
+* ``engine="lockstep"`` — the communication schedule becomes a
+  :class:`~repro.rounds.policies.DeliveryPolicy` (oracle predicates);
+* ``engine="timed"`` — the timing spec builds a
+  :class:`~repro.eventsim.network.PartialSynchronyNetwork` and the
+  communication schedule becomes a per-message
+  :data:`~repro.engine.scheduler.DeliveryFilter` on the
+  :class:`~repro.engine.scheduler.TimedScheduler`, so partitions, loss
+  windows and GST prefixes run under Δ-paced deadline delivery too.
+
+Compilation pre-resolves per-round delivery behaviour: good/bad schedule
+lookups are memoized per round number and partition masks are flattened to
+one precomputed edge set, so the ``observe="metrics"`` hot path pays no
+repeated predicate evaluation inside the round loop.
+
+A scenario a configuration cannot host raises :class:`ScenarioInapplicable`
+(a ``ValueError``): Byzantine placement with ``b = 0``, more crashes than
+``f``, or ``Prel``-only delivery on the timed engine.  The campaign runner
+maps it to an ``inapplicable`` row instead of an error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.types import FaultModel, ProcessId, RoundInfo
+from repro.engine.scheduler import (
+    DeliveryFilter,
+    LockstepScheduler,
+    RoundScheduler,
+    TimedScheduler,
+)
+from repro.eventsim.network import PartialSynchronyNetwork
+from repro.faults.crash import CrashEvent, CrashSchedule
+from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
+from repro.rounds.policies import (
+    AsyncPrelPolicy,
+    DeliveryPolicy,
+    GoodBadPolicy,
+    LossyPolicy,
+    ReliablePolicy,
+    SilentPolicy,
+    silent_behavior,
+)
+from repro.rounds.schedule import GoodBadSchedule
+from repro.scenarios.spec import CommSpec, ScenarioSpec
+
+#: Engines a scenario may compile onto.
+ENGINES = ("lockstep", "timed")
+
+#: A seed, a ready RNG, or nothing (seed 0).
+RngLike = Union[int, random.Random, None]
+
+
+class ScenarioInapplicable(ValueError):
+    """This configuration (model / engine) cannot host the scenario."""
+
+
+def _coerce_rng(rng: RngLike) -> Tuple[int, random.Random]:
+    """Normalize to ``(network_seed, policy_rng)``.
+
+    Campaigns pass the per-run derived seed (an ``int``), which seeds both
+    the lockstep policy stream and the timed network identically to the
+    pre-scenario runner.  A ready :class:`random.Random` is honoured as the
+    policy stream, with the network seed drawn from it.
+    """
+    if rng is None:
+        return 0, random.Random(0)
+    if isinstance(rng, random.Random):
+        return rng.getrandbits(63), rng
+    seed = int(rng)
+    return seed, random.Random(seed)
+
+
+# ----------------------------------------------------------- schedule memo
+
+
+def _memoized_schedule(comm: CommSpec) -> GoodBadSchedule:
+    """The good/bad schedule of ``comm`` with per-round lookups memoized.
+
+    Round structures repeat the same round numbers across thousands of
+    campaign runs of one process; windows/alternating predicates otherwise
+    re-scan their window lists every round.
+    """
+    if comm.schedule == "after":
+        base = GoodBadSchedule.good_after(comm.good_from)
+    elif comm.schedule == "windows":
+        base = GoodBadSchedule.windows(comm.windows)
+    elif comm.schedule == "alternating":
+        base = GoodBadSchedule.alternating(comm.good_len, comm.bad_len)
+    elif comm.schedule == "never":
+        base = GoodBadSchedule.never_good()
+    else:
+        base = GoodBadSchedule.always_good()
+
+    memo: Dict[int, bool] = {}
+
+    def is_good(round_number: int) -> bool:
+        cached = memo.get(round_number)
+        if cached is None:
+            memo[round_number] = cached = base.is_good(round_number)
+        return cached
+
+    return GoodBadSchedule(is_good, base.description)
+
+
+def _partition_groups(
+    comm: CommSpec, model: FaultModel
+) -> Tuple[Tuple[ProcessId, ...], ...]:
+    """The partition sides: explicit groups, or the canonical halves split."""
+    if comm.groups is not None:
+        return comm.groups
+    half = model.n // 2
+    return (tuple(range(half)), tuple(range(half, model.n)))
+
+
+def _partition_edges(
+    groups: Tuple[Tuple[ProcessId, ...], ...]
+) -> frozenset:
+    """Flatten the group predicate to one (sender, dest) membership set."""
+    edges = set()
+    for group in groups:
+        for sender in group:
+            for dest in group:
+                edges.add((sender, dest))
+    return frozenset(edges)
+
+
+def _partition_behavior_fast(edges: frozenset):
+    """Same delivery as ``partition_behavior`` with O(1) edge lookups."""
+
+    def behave(
+        info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> DeliveryMatrix:
+        matrix: DeliveryMatrix = {}
+        byzantine = ctx.byzantine
+        for sender, messages in outbound.items():
+            for dest, payload in messages.items():
+                if (sender, dest) in edges or dest in byzantine:
+                    matrix.setdefault(dest, {})[sender] = payload
+        return matrix
+
+    return behave
+
+
+# ------------------------------------------------------- lockstep policies
+
+
+def _lockstep_policy(
+    comm: CommSpec, model: FaultModel, rng: random.Random
+) -> DeliveryPolicy:
+    if comm.kind == "reliable":
+        return ReliablePolicy()
+    if comm.kind == "lossy":
+        return LossyPolicy(rng, comm.drop_prob)
+    if comm.kind == "async-prel":
+        return AsyncPrelPolicy(rng)
+    if comm.kind == "silent":
+        return SilentPolicy()
+    schedule = _memoized_schedule(comm)
+    if comm.bad == "partition":
+        behaviour = _partition_behavior_fast(
+            _partition_edges(_partition_groups(comm, model))
+        )
+    elif comm.bad == "silence":
+        behaviour = silent_behavior()
+    else:
+        behaviour = None  # GoodBadPolicy owns the rng-driven drop behaviour.
+    return GoodBadPolicy(
+        schedule, bad_behavior=behaviour, rng=rng, drop_prob=comm.drop_prob
+    )
+
+
+# --------------------------------------------------------- timed filters
+
+
+def _timed_filter(
+    comm: CommSpec, model: FaultModel, rng: random.Random
+) -> Optional[DeliveryFilter]:
+    """The per-message admission test hosting ``comm`` on the timed engine.
+
+    Byzantine receivers are always admitted (the adversary has maximal
+    information, as in every lockstep behaviour); everything else follows
+    the same schedule/behaviour semantics as the lockstep policy, applied
+    before latency sampling.
+    """
+    if comm.kind == "reliable":
+        return None
+    if comm.kind == "async-prel":
+        raise ScenarioInapplicable(
+            "Prel-only delivery needs the per-receiver subset oracle; "
+            "it runs on the lockstep engine only"
+        )
+    if comm.kind == "lossy":
+        drop_prob = comm.drop_prob
+
+        def lossy(info, sender, dest, ctx):
+            return dest in ctx.byzantine or rng.random() >= drop_prob
+
+        return lossy
+    if comm.kind == "silent":
+
+        def silent(info, sender, dest, ctx):
+            return dest in ctx.byzantine
+
+        return silent
+
+    schedule = _memoized_schedule(comm)
+    is_good = schedule.is_good
+    if comm.bad == "partition":
+        edges = _partition_edges(_partition_groups(comm, model))
+
+        def bad_edge(info, sender, dest, ctx):
+            return (sender, dest) in edges or dest in ctx.byzantine
+
+    elif comm.bad == "silence":
+
+        def bad_edge(info, sender, dest, ctx):
+            return dest in ctx.byzantine
+
+    else:
+        drop_prob = comm.drop_prob
+
+        def bad_edge(info, sender, dest, ctx):
+            return dest in ctx.byzantine or rng.random() >= drop_prob
+
+    def good_bad(info, sender, dest, ctx):
+        return is_good(info.number) or bad_edge(info, sender, dest, ctx)
+
+    return good_bad
+
+
+# ------------------------------------------------------------- compilation
+
+
+@dataclass
+class CompiledScenario:
+    """A scenario resolved against one model and one timing discipline."""
+
+    spec: ScenarioSpec
+    model: FaultModel
+    engine: str
+    #: pid → strategy name (resolved placement; at most ``b`` entries).
+    byzantine: Dict[ProcessId, str]
+    crash_schedule: Optional[CrashSchedule]
+    scheduler: RoundScheduler
+
+    def honest_values(self, split: bool = True) -> Dict[ProcessId, str]:
+        """Standard proposals for the scenario's honest processes."""
+        from repro.scenarios.spec import split_values
+
+        return split_values(self.model, self.byzantine, split)
+
+    def max_phases(self, default: int = 15) -> int:
+        """The scenario-suggested horizon, or ``default``."""
+        suggested = self.spec.max_phases
+        return default if suggested is None else suggested
+
+
+def _resolve_byzantine(
+    spec: ScenarioSpec, model: FaultModel
+) -> Dict[ProcessId, str]:
+    if not spec.byzantine:
+        return {}
+    if model.b == 0:
+        raise ScenarioInapplicable("byzantine fault script but model has b = 0")
+    count = (
+        model.b if spec.byzantine_count == -1 else spec.byzantine_count
+    )
+    if count > model.b:
+        raise ScenarioInapplicable(
+            f"scenario places {count} Byzantine processes but model has "
+            f"b = {model.b}"
+        )
+    return spec.byzantine_map(model)
+
+
+def _resolve_crashes(
+    spec: ScenarioSpec, model: FaultModel
+) -> Optional[CrashSchedule]:
+    count = spec.crash_count(model)
+    if not count:
+        return None
+    if count > model.f:
+        raise ScenarioInapplicable(
+            f"fault script crashes {count} > f = {model.f} processes"
+        )
+    deliver = None if spec.clean else frozenset()
+    return CrashSchedule(
+        model,
+        [CrashEvent(pid, spec.crash_round, deliver) for pid in range(count)],
+    )
+
+
+def compile_scenario(
+    spec: ScenarioSpec,
+    model: FaultModel,
+    engine: str = "lockstep",
+    rng: RngLike = None,
+    *,
+    network: Optional[PartialSynchronyNetwork] = None,
+) -> CompiledScenario:
+    """Resolve ``spec`` against ``model`` for one timing discipline.
+
+    ``rng`` is the per-run randomness: an ``int`` seed (what campaigns
+    pass — it also seeds the timed network, exactly as the pre-scenario
+    runner did), a ready :class:`random.Random`, or ``None`` for seed 0.
+    ``network`` overrides the timing spec with a caller-built network.
+
+    Raises :class:`ScenarioInapplicable` when the configuration cannot host
+    the scenario; any other spec inconsistency raises :class:`ValueError`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    seed, policy_rng = _coerce_rng(rng)
+    byzantine = _resolve_byzantine(spec, model)
+    crash_schedule = _resolve_crashes(spec, model)
+    if engine == "lockstep":
+        scheduler: RoundScheduler = LockstepScheduler(
+            _lockstep_policy(spec.comm, model, policy_rng)
+        )
+    else:
+        delivery_filter = _timed_filter(spec.comm, model, policy_rng)
+        scheduler = TimedScheduler(
+            network if network is not None else spec.timing.build(seed),
+            round_duration=spec.timing.round_duration,
+            delivery_filter=delivery_filter,
+        )
+    return CompiledScenario(
+        spec=spec,
+        model=model,
+        engine=engine,
+        byzantine=byzantine,
+        crash_schedule=crash_schedule,
+        scheduler=scheduler,
+    )
+
+
+def run_scenario(
+    spec: Union[str, ScenarioSpec],
+    parameters,
+    *,
+    engine: str = "lockstep",
+    rng: RngLike = None,
+    initial_values=None,
+    config=None,
+    observe: str = "full",
+    max_phases: Optional[int] = None,
+    network: Optional[PartialSynchronyNetwork] = None,
+):
+    """Compile ``spec`` (a name or a spec) and run one instance through the
+    unified kernel, returning the engine :class:`~repro.engine.Outcome`."""
+    from repro.engine.assembly import build_instance
+    from repro.engine.kernel import run_instance
+
+    if isinstance(spec, str):
+        from repro.scenarios.registry import get_scenario
+
+        spec = get_scenario(spec)
+    compiled = compile_scenario(
+        spec, parameters.model, engine, rng, network=network
+    )
+    values = (
+        initial_values
+        if initial_values is not None
+        else compiled.honest_values()
+    )
+    instance = build_instance(
+        parameters, values, config=config, byzantine=compiled.byzantine
+    )
+    return run_instance(
+        instance,
+        compiled.scheduler,
+        max_phases=compiled.max_phases() if max_phases is None else max_phases,
+        observe=observe,
+        crash_schedule=compiled.crash_schedule,
+    )

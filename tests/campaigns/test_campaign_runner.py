@@ -125,11 +125,26 @@ class TestIsolation:
         statuses = {
             (row["engine"], row["fault"]): row["status"] for row in rows
         }
-        # b = 0 hosts no Byzantine script; timed engine hosts no crashes.
+        # b = 0 hosts no Byzantine script; crash scripts execute through the
+        # kernel's crash schedule on *both* engines.
         assert statuses[("lockstep", "byz:silent")] == "inapplicable"
         assert statuses[("timed", "byz:silent")] == "inapplicable"
-        assert statuses[("timed", "crash:f@1")] == "inapplicable"
+        assert statuses[("timed", "crash:f@1")] == "ok"
         assert statuses[("lockstep", "crash:f@1")] == "ok"
+
+    def test_oversized_crash_script_stays_inapplicable(self):
+        """The subsumed crashes > f check survives the timed-crash lift."""
+        rows = run_campaign(
+            CampaignSpec(
+                name="crash-bound",
+                algorithms=("paxos",),
+                models=((3, 0, 1),),
+                engines=("lockstep", "timed"),
+                faults=(FaultSpec(crashes=2),),
+            )
+        )
+        assert {row["status"] for row in rows} == {"inapplicable"}
+        assert all("crashes 2 > f = 1" in row["error"] for row in rows)
 
 
 class TestRows:

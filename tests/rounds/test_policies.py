@@ -163,3 +163,52 @@ class TestLossyAndSilent:
         outbound = all_to_all(4, lambda s: f"m{s}")
         matrix = policy.deliver(DEC, outbound, ctx)
         assert all(pid == 3 for pid in matrix)
+
+
+class TestRngThreading:
+    """Per-run rng: policies own their stream and reseed deterministically."""
+
+    BAD = RoundInfo(number=1, phase=1, kind=RoundKind.DECISION)
+
+    def matrix_sizes(self, policy):
+        outbound = all_to_all(6, lambda s: f"m{s}")
+        ctx = ctx_for(n=6)
+        return [
+            sorted(
+                (dest, sorted(inbox))
+                for dest, inbox in policy.deliver(
+                    self.BAD, outbound, ctx
+                ).items()
+            )
+            for _ in range(5)
+        ]
+
+    def test_goodbad_reseed_replays_loss_stream(self):
+        policy = GoodBadPolicy(
+            GoodBadSchedule.never_good(), rng=random.Random(3)
+        )
+        first = self.matrix_sizes(policy)
+        policy.reseed(3)
+        assert self.matrix_sizes(policy) == first
+
+    def test_lossy_reseed_replays_loss_stream(self):
+        policy = LossyPolicy(random.Random(5), drop_prob=0.4)
+        first = self.matrix_sizes(policy)
+        policy.reseed(5)
+        assert self.matrix_sizes(policy) == first
+
+    def test_async_prel_reseed_replays_choices(self):
+        policy = AsyncPrelPolicy(random.Random(7))
+        first = self.matrix_sizes(policy)
+        policy.reseed(7)
+        assert self.matrix_sizes(policy) == first
+
+    def test_policies_default_to_owned_rng(self):
+        """No-rng construction must still be deterministic (seed 0), not
+        draw from the module-level random."""
+        assert self.matrix_sizes(LossyPolicy()) == self.matrix_sizes(
+            LossyPolicy()
+        )
+        assert self.matrix_sizes(AsyncPrelPolicy()) == self.matrix_sizes(
+            AsyncPrelPolicy()
+        )

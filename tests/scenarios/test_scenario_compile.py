@@ -1,0 +1,163 @@
+"""Scenario compilation onto both schedulers."""
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.types import FaultModel
+from repro.engine.scheduler import LockstepScheduler, TimedScheduler
+from repro.rounds.policies import (
+    AsyncPrelPolicy,
+    GoodBadPolicy,
+    LossyPolicy,
+    ReliablePolicy,
+    SilentPolicy,
+)
+from repro.scenarios import (
+    ScenarioInapplicable,
+    ScenarioSpec,
+    SCENARIO_REGISTRY,
+    compile_scenario,
+    get_scenario,
+    run_scenario,
+)
+from repro.scenarios.spec import CommSpec
+
+
+@pytest.fixture
+def pbft_params(pbft_model):
+    return build_class_parameters(AlgorithmClass.CLASS_3, pbft_model)
+
+
+class TestLockstepTargets:
+    @pytest.mark.parametrize(
+        "comm,policy_type",
+        [
+            (CommSpec(), ReliablePolicy),
+            (CommSpec(kind="good-bad", good_from=5), GoodBadPolicy),
+            (CommSpec(kind="lossy"), LossyPolicy),
+            (CommSpec(kind="async-prel"), AsyncPrelPolicy),
+            (CommSpec(kind="silent"), SilentPolicy),
+        ],
+    )
+    def test_comm_kind_maps_to_policy(self, pbft_model, comm, policy_type):
+        compiled = compile_scenario(
+            ScenarioSpec(comm=comm), pbft_model, "lockstep", 1
+        )
+        assert isinstance(compiled.scheduler, LockstepScheduler)
+        assert isinstance(compiled.scheduler.policy, policy_type)
+
+    def test_byzantine_and_crashes_resolved(self):
+        model = FaultModel(7, 1, 2)
+        spec = ScenarioSpec(byzantine=("silent",), crashes=2, crash_round=3)
+        compiled = compile_scenario(spec, model, "lockstep", 1)
+        assert compiled.byzantine == {6: "silent"}
+        assert compiled.crash_schedule.doomed == frozenset({0, 1})
+
+
+class TestTimedTargets:
+    def test_reliable_has_no_filter(self, pbft_model):
+        compiled = compile_scenario(
+            ScenarioSpec(), pbft_model, "timed", 1
+        )
+        assert isinstance(compiled.scheduler, TimedScheduler)
+
+    def test_partition_hosted_on_timed(self, pbft_model, pbft_params):
+        spec = get_scenario("partition_heal")
+        outcome = run_scenario(spec, pbft_params, engine="timed", rng=3)
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        # Decisions cannot land before the heal round.
+        assert outcome.rounds_to_last_decision >= spec.comm.good_from
+
+    def test_crash_script_hosted_on_timed(self):
+        model = FaultModel(5, 0, 2)
+        params = build_class_parameters(AlgorithmClass.CLASS_2, model)
+        outcome = run_scenario("crash_storm", params, engine="timed", rng=3)
+        assert outcome.agreement_holds
+        assert outcome.all_correct_decided
+        assert len(outcome.decisions) == 3  # the two crashed never decide
+
+    def test_async_prel_inapplicable_on_timed(self, pbft_model):
+        with pytest.raises(ScenarioInapplicable, match="lockstep engine only"):
+            compile_scenario(
+                ScenarioSpec(comm=CommSpec(kind="async-prel")),
+                pbft_model,
+                "timed",
+                1,
+            )
+
+
+class TestInapplicability:
+    def test_byzantine_needs_b(self):
+        with pytest.raises(ScenarioInapplicable, match="b = 0"):
+            compile_scenario(
+                ScenarioSpec(byzantine=("silent",)), FaultModel(3, 0, 1)
+            )
+
+    def test_crashes_bounded_by_f(self):
+        with pytest.raises(ScenarioInapplicable, match="crashes 2 > f = 1"):
+            compile_scenario(
+                ScenarioSpec(crashes=2), FaultModel(3, 0, 1)
+            )
+
+    def test_byzantine_count_bounded_by_b(self):
+        with pytest.raises(ScenarioInapplicable, match="Byzantine"):
+            compile_scenario(
+                ScenarioSpec(byzantine=("silent",), byzantine_count=2),
+                FaultModel(4, 1, 0),
+            )
+
+    def test_unknown_engine_is_value_error(self, pbft_model):
+        with pytest.raises(ValueError, match="unknown engine"):
+            compile_scenario(ScenarioSpec(), pbft_model, "warp")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("engine", ["lockstep", "timed"])
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_same_seed_same_outcome(self, engine, name, pbft_params):
+        # (crash_storm degrades to zero crashes on the f = 0 pbft model.)
+        first = run_scenario(name, pbft_params, engine=engine, rng=11)
+        second = run_scenario(name, pbft_params, engine=engine, rng=11)
+        assert first.decided_value_by_process == second.decided_value_by_process
+        assert first.rounds_executed == second.rounds_executed
+        assert first.messages_delivered == second.messages_delivered
+
+    def test_seed_moves_random_loss(self, pbft_params):
+        outcomes = {
+            run_scenario(
+                "async_then_sync", pbft_params, rng=seed
+            ).messages_delivered
+            for seed in range(6)
+        }
+        assert len(outcomes) > 1
+
+
+class TestMemoization:
+    def test_schedule_lookups_memoized(self):
+        calls = []
+
+        comm = CommSpec(kind="good-bad", schedule="after", good_from=4)
+        from repro.scenarios.compile import _memoized_schedule
+
+        schedule = _memoized_schedule(comm)
+        # Instrument the base predicate through the memo: repeated lookups
+        # of one round must not grow the underlying closure's cache.
+        memo = schedule._is_good.__closure__
+        assert memo is not None
+        for _ in range(3):
+            calls.append(schedule.is_good(2))
+        assert calls == [False, False, False]
+        (memo_dict,) = [
+            cell.cell_contents
+            for cell in memo
+            if isinstance(cell.cell_contents, dict)
+        ]
+        assert set(memo_dict) == {2}
+
+    def test_partition_edges_flattened(self):
+        from repro.scenarios.compile import _partition_edges
+
+        edges = _partition_edges(((0, 1), (2, 3)))
+        assert (0, 1) in edges and (1, 0) in edges
+        assert (0, 2) not in edges and (2, 1) not in edges

@@ -1,0 +1,141 @@
+"""Scenario-compilation parity: the new layer reproduces legacy outcomes.
+
+The pre-scenario ``AdversaryScenario`` factories assembled policies by hand
+and ran them through ``run_consensus``.  Each case below rebuilds that
+legacy execution verbatim (hand-built policy, same placement, same seed)
+and asserts the preset — now a thin ``ScenarioSpec`` lookup compiled
+through the unified kernel — produces the identical outcome.
+"""
+
+import random
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.run import run_consensus
+from repro.core.types import FaultModel
+from repro.faults.adversary import build_scenario
+from repro.faults.crash import CrashSchedule
+from repro.rounds.policies import (
+    GoodBadPolicy,
+    ReliablePolicy,
+    partition_behavior,
+)
+from repro.rounds.schedule import GoodBadSchedule
+
+
+def outcome_signature(outcome):
+    """Everything the legacy sweeps ever read off a scenario outcome."""
+    return (
+        {pid: d.value for pid, d in outcome.decisions.items()},
+        {pid: d.round for pid, d in outcome.decisions.items()},
+        outcome.agreement_holds,
+        outcome.all_correct_decided,
+        outcome.rounds_to_last_decision,
+        outcome.result.rounds_executed,
+    )
+
+
+def legacy_values(model, byzantine):
+    return {
+        pid: f"v{pid % 2}"
+        for pid in model.processes
+        if pid not in byzantine
+    }
+
+
+@pytest.fixture
+def params7():
+    return build_class_parameters(AlgorithmClass.CLASS_3, FaultModel(7, 2, 0))
+
+
+class TestPresetParity:
+    def test_worst_case(self, params7):
+        model = params7.model
+        strategies = [
+            "equivocator", "high-ts-liar", "fake-history-liar", "adaptive-liar",
+        ]
+        byzantine = {
+            model.n - 1 - i: strategies[i % len(strategies)]
+            for i in range(model.b)
+        }
+        values = legacy_values(model, byzantine)
+        legacy = run_consensus(
+            params7, values, byzantine=byzantine, policy=ReliablePolicy(),
+            max_phases=15,
+        )
+        scenario = build_scenario("worst_case", model)
+        assert scenario.byzantine == byzantine
+        modern = scenario.run(params7, values)
+        assert outcome_signature(modern) == outcome_signature(legacy)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    @pytest.mark.parametrize("heal_round", [5, 7])
+    def test_partition_heal(self, params7, heal_round, seed):
+        model = params7.model
+        half = model.n // 2
+        policy = GoodBadPolicy(
+            GoodBadSchedule.good_after(heal_round),
+            bad_behavior=partition_behavior(
+                [range(half), range(half, model.n)]
+            ),
+            rng=random.Random(seed),
+        )
+        byzantine = {model.n - 1: "equivocator"}
+        values = legacy_values(model, byzantine)
+        legacy = run_consensus(
+            params7, values, byzantine=byzantine, policy=policy,
+            max_phases=heal_round + 8,
+        )
+        scenario = build_scenario(
+            "partition_heal", model, heal_round=heal_round, seed=seed
+        )
+        modern = scenario.run(params7, values)
+        assert outcome_signature(modern) == outcome_signature(legacy)
+
+    @pytest.mark.parametrize("seed", [0, 1, 4])
+    def test_async_then_sync_random_loss_stream(self, params7, seed):
+        """The bad-period drop draws must consume the seeded RNG exactly as
+        the legacy default behaviour did."""
+        model = params7.model
+        gst_round = 9
+        policy = GoodBadPolicy(
+            GoodBadSchedule.good_after(gst_round), rng=random.Random(seed)
+        )
+        byzantine = {model.n - 1: "adaptive-liar"}
+        values = legacy_values(model, byzantine)
+        legacy = run_consensus(
+            params7, values, byzantine=byzantine, policy=policy,
+            max_phases=gst_round + 8,
+        )
+        scenario = build_scenario(
+            "async_then_sync", model, gst_round=gst_round, seed=seed
+        )
+        modern = scenario.run(params7, values)
+        assert outcome_signature(modern) == outcome_signature(legacy)
+
+    def test_silent_minority(self):
+        model = FaultModel(5, 1, 0)
+        params = build_class_parameters(AlgorithmClass.CLASS_2, model)
+        byzantine = {model.n - 1 - i: "silent" for i in range(model.b)}
+        values = legacy_values(model, byzantine)
+        legacy = run_consensus(
+            params, values, byzantine=byzantine, policy=ReliablePolicy(),
+            max_phases=15,
+        )
+        modern = build_scenario("silent_minority", model).run(params, values)
+        assert outcome_signature(modern) == outcome_signature(legacy)
+
+    def test_crash_storm(self):
+        model = FaultModel(5, 0, 2)
+        params = build_class_parameters(AlgorithmClass.CLASS_2, model)
+        values = legacy_values(model, {})
+        legacy = run_consensus(
+            params,
+            values,
+            policy=ReliablePolicy(),
+            crash_schedule=CrashSchedule.crash_first_f(model, 1, clean=False),
+            max_phases=15,
+        )
+        modern = build_scenario("crash_storm", model).run(params, values)
+        assert outcome_signature(modern) == outcome_signature(legacy)

@@ -1,0 +1,54 @@
+"""Property suite: every registered scenario preserves the paper's safety
+invariants on both engines, wherever the configuration hosts it."""
+
+import pytest
+
+from repro.core.classification import AlgorithmClass, build_class_parameters
+from repro.core.types import FaultModel
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    ScenarioInapplicable,
+    run_scenario,
+)
+
+#: Models with room for every fault shape the registry uses (b ≥ 1, f ≥ 1).
+MODELS = {
+    # class → (n, b, f) satisfying its Table-1 bound with slack
+    AlgorithmClass.CLASS_2: FaultModel(8, 1, 1),
+    AlgorithmClass.CLASS_3: FaultModel(7, 1, 1),
+}
+
+
+@pytest.mark.parametrize("engine", ["lockstep", "timed"])
+@pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+@pytest.mark.parametrize("cls", sorted(MODELS, key=lambda c: c.value))
+def test_safety_invariants_hold(cls, name, engine):
+    model = MODELS[cls]
+    params = build_class_parameters(cls, model)
+    try:
+        outcome = run_scenario(name, params, engine=engine, rng=13)
+    except ScenarioInapplicable:
+        pytest.skip(f"{name} not hosted by {engine} under {model}")
+    report = outcome.invariant_report()
+    # Safety must hold in every environment — including those (lossy,
+    # silent minority) where liveness legitimately may not.
+    assert report["agreement"] is True
+    assert report["validity"] is True
+    assert report["unanimity"] is True
+
+
+@pytest.mark.parametrize("engine", ["lockstep", "timed"])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "fault-free", "worst_case", "partition_heal", "async_then_sync",
+        "silent_minority", "crash_storm",
+    ],
+)
+def test_liveness_in_eventually_good_scenarios(name, engine):
+    """Scenarios with an eventually-good suffix must also terminate."""
+    model = FaultModel(7, 1, 1)
+    params = build_class_parameters(AlgorithmClass.CLASS_3, model)
+    outcome = run_scenario(name, params, engine=engine, rng=13)
+    assert outcome.all_correct_decided
+    assert outcome.invariant_report()["termination"] is True

@@ -1,0 +1,150 @@
+"""ScenarioSpec / CommSpec: validation, describe stability, round trips."""
+
+import pytest
+
+from repro.campaigns.spec import FaultSpec
+from repro.eventsim.network import NetworkSpec
+from repro.scenarios.spec import CommSpec, ScenarioSpec, split_values
+from repro.core.types import FaultModel
+
+
+class TestCommSpec:
+    def test_defaults_are_reliable(self):
+        comm = CommSpec()
+        assert comm.kind == "reliable"
+        assert comm.describe() == ""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown communication kind"):
+            CommSpec(kind="wormhole")
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            CommSpec(kind="good-bad", schedule="sometimes")
+
+    def test_unknown_bad_behavior_rejected(self):
+        with pytest.raises(ValueError, match="unknown bad behaviour"):
+            CommSpec(kind="good-bad", bad="gremlins")
+
+    def test_drop_prob_bounds(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            CommSpec(kind="lossy", drop_prob=1.5)
+
+    def test_describe_distinguishes_variants(self):
+        variants = [
+            CommSpec(kind="lossy", drop_prob=0.3),
+            CommSpec(kind="lossy", drop_prob=0.4),
+            CommSpec(kind="async-prel"),
+            CommSpec(kind="silent"),
+            CommSpec(kind="good-bad", schedule="after", good_from=5),
+            CommSpec(kind="good-bad", schedule="after", good_from=6),
+            CommSpec(kind="good-bad", schedule="after", good_from=5,
+                     bad="partition"),
+            CommSpec(kind="good-bad", schedule="after", good_from=5,
+                     bad="silence"),
+            CommSpec(kind="good-bad", schedule="alternating", good_len=2,
+                     bad_len=1),
+            CommSpec(kind="good-bad", schedule="windows",
+                     windows=((3, 5), (9, 12))),
+        ]
+        described = {comm.describe() for comm in variants}
+        assert len(described) == len(variants)
+
+    def test_partition_groups_never_alias(self):
+        """Multi-digit pids must not collapse two partitions into one
+        coordinate string (seed derivation hashes it)."""
+        a = CommSpec(kind="good-bad", bad="partition", groups=((0, 1), (12,)))
+        b = CommSpec(kind="good-bad", bad="partition", groups=((0, 1), (1, 2)))
+        assert a.describe() != b.describe()
+
+    def test_lists_frozen_to_tuples(self):
+        comm = CommSpec(kind="good-bad", schedule="windows",
+                        windows=[[3, 5]], groups=[[0, 1], [2, 3]])
+        assert comm.windows == ((3, 5),)
+        assert comm.groups == ((0, 1), (2, 3))
+        hash(comm)  # stays usable as a frozen coordinate
+
+
+class TestScenarioSpec:
+    def test_byzantine_placement_cycles_strategies(self):
+        spec = ScenarioSpec(byzantine=("a", "b"))
+        placement = spec.byzantine_map(FaultModel(9, 3, 0))
+        assert placement == {8: "a", 7: "b", 6: "a"}
+
+    def test_byzantine_count_limits_slots(self):
+        spec = ScenarioSpec(byzantine=("a",), byzantine_count=1)
+        assert spec.byzantine_map(FaultModel(9, 3, 0)) == {8: "a"}
+
+    def test_count_without_strategies_rejected(self):
+        with pytest.raises(ValueError, match="byzantine_count"):
+            ScenarioSpec(byzantine_count=2)
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError, match="crashes"):
+            ScenarioSpec(crashes=-2)
+        with pytest.raises(ValueError, match="crash_round"):
+            ScenarioSpec(crashes=1, crash_round=0)
+
+    def test_mapping_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt",
+            byzantine=("equivocator", "silent"),
+            byzantine_count=2,
+            crashes=1,
+            crash_round=3,
+            clean=False,
+            comm=CommSpec(kind="good-bad", schedule="windows",
+                          windows=((2, 4),), bad="partition",
+                          groups=((0, 1), (2, 3))),
+            timing=NetworkSpec(gst=5.0),
+            max_phases=20,
+        )
+        assert ScenarioSpec.from_mapping(spec.to_mapping()) == spec
+
+    def test_mapping_survives_json(self):
+        import json
+
+        spec = ScenarioSpec(
+            byzantine=("silent",),
+            comm=CommSpec(kind="good-bad", good_from=4,
+                          windows=((1, 2),), groups=((0,), (1, 2))),
+        )
+        rehydrated = ScenarioSpec.from_mapping(
+            json.loads(json.dumps(spec.to_mapping()))
+        )
+        assert rehydrated == spec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            ScenarioSpec.from_mapping({"typo": 1})
+
+
+class TestLegacyDescribeStability:
+    """Converted legacy cells must keep their exact coordinate strings —
+    campaign seed derivation hashes them."""
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            FaultSpec(),
+            FaultSpec(byzantine="silent"),
+            FaultSpec(crashes=-1),
+            FaultSpec(byzantine="noise", crashes=2, crash_round=3, clean=False),
+        ],
+    )
+    def test_fault_strings_identical(self, fault):
+        scenario = ScenarioSpec.from_legacy(fault)
+        assert scenario.describe_fault() == fault.describe()
+
+    def test_network_string_identical(self):
+        network = NetworkSpec(gst=4.0, pre_gst_delay_prob=0.6)
+        scenario = ScenarioSpec.from_legacy(FaultSpec(), network)
+        assert scenario.describe_network() == network.describe()
+
+
+def test_split_values_skips_byzantine():
+    model = FaultModel(4, 1, 0)
+    values = split_values(model, {3: "equivocator"})
+    assert values == {0: "v0", 1: "v1", 2: "v0"}
+    uniform = split_values(model, {}, split=False)
+    assert set(uniform.values()) == {"v"}
