@@ -26,24 +26,38 @@ The legacy ``faults`` × ``networks`` axes are still accepted and fold into
 equivalent scenarios with unchanged coordinate strings, so existing specs
 keep their derived seeds.  The same campaign seed yields byte-identical
 results at any worker count.
+
+Execution is **streaming and resumable**: :func:`iter_campaign` yields rows
+as runs complete (bounded in-flight window — memory O(window), not
+O(grid)), each row lands in a crash-safe ``<out>.partial`` checkpoint the
+moment it finishes, and ``repro campaign run --resume`` skips the recorded
+``run_id``\\ s and completes the file; the finalized snapshot is
+byte-identical to a single-shot run.
 """
 
 from repro.campaigns.aggregate import (
     DEFAULT_GROUP_KEYS,
     CellSummary,
+    SummaryFold,
     format_report,
     percentile,
     summarize,
 )
 from repro.campaigns.presets import BUILTIN_CAMPAIGNS
 from repro.campaigns.results import (
+    ResultSink,
     ResultStore,
+    checkpoint_path,
+    finalize_checkpoint,
+    iter_rows,
     read_rows,
     row_to_json,
     rows_to_jsonl,
+    scan_checkpoint,
+    validate_resume,
     write_rows,
 )
-from repro.campaigns.runner import execute_run, run_campaign
+from repro.campaigns.runner import execute_run, iter_campaign, run_campaign
 from repro.campaigns.spec import (
     CampaignSpec,
     FaultSpec,
@@ -62,12 +76,18 @@ __all__ = [
     "DEFAULT_GROUP_KEYS",
     "FaultSpec",
     "NetworkSpec",
+    "ResultSink",
     "ResultStore",
     "RunSpec",
     "ScenarioSpec",
+    "SummaryFold",
+    "checkpoint_path",
     "derive_seed",
     "execute_run",
+    "finalize_checkpoint",
     "format_report",
+    "iter_campaign",
+    "iter_rows",
     "load_spec",
     "percentile",
     "read_rows",
@@ -75,6 +95,8 @@ __all__ = [
     "row_to_json",
     "rows_to_jsonl",
     "run_campaign",
+    "scan_checkpoint",
     "summarize",
+    "validate_resume",
     "write_rows",
 ]

@@ -1,17 +1,23 @@
 """Grouped summaries over campaign result rows.
 
-:func:`summarize` folds JSONL rows into per-cell :class:`CellSummary`
-records — grouped by ``(algorithm, n, b, f, engine, fault)`` by default —
-with latency percentiles (timed runs), phase/message means (lockstep runs)
-and property-violation counts.  :func:`format_report` renders the familiar
+:func:`summarize` folds an *iterable* of JSONL rows — a list, or the live
+stream out of :func:`~repro.campaigns.runner.iter_campaign` /
+:func:`~repro.campaigns.results.iter_rows` — into per-cell
+:class:`CellSummary` records, grouped by ``(algorithm, n, b, f, engine,
+fault)`` by default.  The fold is single-pass: each row updates its cell's
+:class:`SummaryFold` accumulator (counts, sums, and one latency float per
+timed ok row for the exact percentiles) and is then released, so report
+memory scales with the number of *cells* plus one float per latency sample
+— never with whole-row lists.  :func:`format_report` renders the familiar
 monospace table.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_float, format_rate, format_table
 
@@ -37,10 +43,6 @@ def percentile(values: Sequence[float], q: float) -> Optional[float]:
     return ordered[lower] + (ordered[upper] - ordered[lower]) * (position - lower)
 
 
-def _mean(values: Sequence[float]) -> Optional[float]:
-    return sum(values) / len(values) if values else None
-
-
 @dataclass(frozen=True)
 class CellSummary:
     """Aggregates for one group of rows (one cell of the report)."""
@@ -55,6 +57,11 @@ class CellSummary:
     validity_violations: int
     unanimity_violations: int
     termination_failures: int
+    mean_phases: Optional[float]
+    mean_messages: Optional[float]
+    mean_latency: Optional[float]
+    p50_latency: Optional[float]
+    p99_latency: Optional[float]
 
     @property
     def safety_violations(self) -> int:
@@ -64,84 +71,154 @@ class CellSummary:
             + self.validity_violations
             + self.unanimity_violations
         )
-    mean_phases: Optional[float]
-    mean_messages: Optional[float]
-    mean_latency: Optional[float]
-    p50_latency: Optional[float]
-    p99_latency: Optional[float]
+
+
+class _CellAccumulator:
+    """Single-pass fold state for one report cell."""
+
+    __slots__ = (
+        "key", "runs", "ok", "errors", "inadmissible", "inapplicable",
+        "agreement_violations", "validity_violations",
+        "unanimity_violations", "termination_failures",
+        "phase_sum", "phase_count", "message_sum", "message_count",
+        "latencies",
+    )
+
+    def __init__(self, key: Tuple[object, ...]) -> None:
+        self.key = key
+        self.runs = 0
+        self.ok = 0
+        self.errors = 0
+        self.inadmissible = 0
+        self.inapplicable = 0
+        self.agreement_violations = 0
+        self.validity_violations = 0
+        self.unanimity_violations = 0
+        self.termination_failures = 0
+        self.phase_sum = 0.0
+        self.phase_count = 0
+        self.message_sum = 0.0
+        self.message_count = 0
+        # Compact float buffer: exact percentiles need the samples, but one
+        # double per timed ok row is all that survives of each row.
+        self.latencies = array("d")
+
+    def add(self, row: Row) -> None:
+        self.runs += 1
+        status = row.get("status")
+        if status == "error":
+            self.errors += 1
+        elif status == "inadmissible":
+            self.inadmissible += 1
+        elif status == "inapplicable":
+            self.inapplicable += 1
+        elif status == "ok":
+            self.ok += 1
+            if row.get("agreement") is False:
+                self.agreement_violations += 1
+            if row.get("validity") is False:
+                self.validity_violations += 1
+            if row.get("unanimity") is False:
+                self.unanimity_violations += 1
+            if row.get("termination") is False:
+                self.termination_failures += 1
+            phases = row.get("phases")
+            if phases is not None:
+                self.phase_sum += float(phases)
+                self.phase_count += 1
+            messages = row.get("messages_sent")
+            if messages is not None:
+                self.message_sum += float(messages)
+                self.message_count += 1
+            latency = row.get("time_to_decision")
+            if latency is not None:
+                self.latencies.append(float(latency))
+
+    def summary(self) -> CellSummary:
+        latencies = self.latencies
+        return CellSummary(
+            key=self.key,
+            runs=self.runs,
+            ok=self.ok,
+            errors=self.errors,
+            inadmissible=self.inadmissible,
+            inapplicable=self.inapplicable,
+            agreement_violations=self.agreement_violations,
+            validity_violations=self.validity_violations,
+            unanimity_violations=self.unanimity_violations,
+            termination_failures=self.termination_failures,
+            mean_phases=(
+                self.phase_sum / self.phase_count if self.phase_count else None
+            ),
+            mean_messages=(
+                self.message_sum / self.message_count
+                if self.message_count
+                else None
+            ),
+            mean_latency=(
+                math.fsum(latencies) / len(latencies) if latencies else None
+            ),
+            p50_latency=percentile(latencies, 0.50),
+            p99_latency=percentile(latencies, 0.99),
+        )
+
+
+class SummaryFold:
+    """Incremental per-cell aggregation: feed rows, read summaries anytime.
+
+    Feed it a live stream (the example folds each row as it is appended to
+    the checkpoint) or a file scan (the CLI folds the finalized JSONL in
+    one streaming pass — necessarily from the file, since resumed rows
+    recorded by an earlier session never pass through the current
+    process's run loop).
+    """
+
+    def __init__(
+        self, group_keys: Sequence[str] = DEFAULT_GROUP_KEYS
+    ) -> None:
+        self._group_keys = tuple(group_keys)
+        self._cells: Dict[Tuple[object, ...], _CellAccumulator] = {}
+
+    def add(self, row: Row) -> None:
+        key = tuple(row.get(field) for field in self._group_keys)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _CellAccumulator(key)
+        cell.add(row)
+
+    def summaries(self) -> List[CellSummary]:
+        """Per-cell summaries, ordered by group key."""
+        ordered = sorted(
+            self._cells, key=lambda k: tuple(str(part) for part in k)
+        )
+        return [self._cells[key].summary() for key in ordered]
 
 
 def summarize(
-    rows: Sequence[Row],
+    rows: Iterable[Row],
     group_keys: Sequence[str] = DEFAULT_GROUP_KEYS,
 ) -> List[CellSummary]:
-    """Fold rows into per-cell summaries, ordered by group key."""
-    groups: Dict[Tuple[object, ...], List[Row]] = {}
+    """Fold rows (any iterable, consumed once) into per-cell summaries."""
+    fold = SummaryFold(group_keys)
     for row in rows:
-        key = tuple(row.get(field) for field in group_keys)
-        groups.setdefault(key, []).append(row)
-
-    summaries: List[CellSummary] = []
-    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
-        cell = groups[key]
-        ok_rows = [row for row in cell if row.get("status") == "ok"]
-        latencies = [
-            float(row["time_to_decision"])
-            for row in ok_rows
-            if row.get("time_to_decision") is not None
-        ]
-        phases = [
-            float(row["phases"])
-            for row in ok_rows
-            if row.get("phases") is not None
-        ]
-        messages = [
-            float(row["messages_sent"])
-            for row in ok_rows
-            if row.get("messages_sent") is not None
-        ]
-        summaries.append(
-            CellSummary(
-                key=key,
-                runs=len(cell),
-                ok=len(ok_rows),
-                errors=sum(1 for row in cell if row.get("status") == "error"),
-                inadmissible=sum(
-                    1 for row in cell if row.get("status") == "inadmissible"
-                ),
-                inapplicable=sum(
-                    1 for row in cell if row.get("status") == "inapplicable"
-                ),
-                agreement_violations=sum(
-                    1 for row in ok_rows if row.get("agreement") is False
-                ),
-                validity_violations=sum(
-                    1 for row in ok_rows if row.get("validity") is False
-                ),
-                unanimity_violations=sum(
-                    1 for row in ok_rows if row.get("unanimity") is False
-                ),
-                termination_failures=sum(
-                    1 for row in ok_rows if row.get("termination") is False
-                ),
-                mean_phases=_mean(phases),
-                mean_messages=_mean(messages),
-                mean_latency=_mean(latencies),
-                p50_latency=percentile(latencies, 0.50),
-                p99_latency=percentile(latencies, 0.99),
-            )
-        )
-    return summaries
+        fold.add(row)
+    return fold.summaries()
 
 
 def format_report(
     summaries: Sequence[CellSummary],
     group_keys: Sequence[str] = DEFAULT_GROUP_KEYS,
 ) -> str:
-    """Render per-cell summaries as an aligned monospace table."""
+    """Render per-cell summaries as an aligned monospace table.
+
+    ``inadm`` (model outside the algorithm's bound) and ``inappl``
+    (scenario the configuration cannot host) are distinct columns: the
+    first marks a resilience frontier, the second a grid axis that does
+    not apply — folding them together hid frontier crossings.
+    """
     headers = [
         *group_keys,
-        "runs", "ok", "err", "inadm", "safety-viol", "term-fail",
+        "runs", "ok", "err", "inadm", "inappl", "safety-viol", "term-fail",
         "phases", "msgs", "ttd-mean", "ttd-p50", "ttd-p99",
     ]
     table = []
@@ -152,7 +229,8 @@ def format_report(
                 summary.runs,
                 summary.ok,
                 summary.errors,
-                summary.inadmissible + summary.inapplicable,
+                summary.inadmissible,
+                summary.inapplicable,
                 format_rate(summary.safety_violations, summary.ok),
                 format_rate(summary.termination_failures, summary.ok),
                 format_float(summary.mean_phases),

@@ -3,13 +3,31 @@
 Rows are serialized with sorted keys and compact separators, so the file a
 campaign writes is *byte-identical* for equal row lists — the property the
 ``--workers N`` determinism guarantee is checked against.
+
+Two file shapes exist:
+
+* the **checkpoint** (``<out>.partial``) — rows appended in *completion*
+  order as the campaign streams, one ``flush()`` per row, so every
+  completed run survives an interrupted campaign.  :func:`scan_checkpoint`
+  recovers the recorded ``run_id``\\ s (tolerating one torn final line from
+  a crash mid-write) and ``repro campaign run --resume`` skips them;
+* the **final snapshot** (``<out>``) — the checkpoint sorted by ``run_id``
+  and rewritten canonically (atomic rename), byte-identical to what a
+  single uninterrupted run would have produced.
+
+:class:`ResultStore` binds one path; :meth:`ResultStore.open_append`
+returns the held-open :class:`ResultSink` the streaming runner writes
+through (one handle for the whole campaign, not one ``open``/``close``
+syscall pair per row).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, Iterable, List
+from types import TracebackType
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 
 Row = Dict[str, object]
 
@@ -33,38 +51,240 @@ def write_rows(path: object, rows: Iterable[Row]) -> Path:
     return target
 
 
-def read_rows(path: object) -> List[Row]:
-    """Load a JSONL result file (blank lines are ignored)."""
-    rows: List[Row] = []
+def iter_rows(path: object) -> Iterator[Row]:
+    """Lazily yield rows from a JSONL file (blank lines are ignored).
+
+    The streaming counterpart of :func:`read_rows`: reports and fold-based
+    summaries consume this without ever holding the full row list.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                rows.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(
                     f"{path}:{line_number}: not valid JSONL ({exc})"
                 ) from exc
-    return rows
+
+
+def read_rows(path: object) -> List[Row]:
+    """Load a JSONL result file (blank lines are ignored)."""
+    return list(iter_rows(path))
+
+
+def checkpoint_path(out: object) -> Path:
+    """The checkpoint (streaming append) file paired with a final path."""
+    target = Path(out)
+    return target.with_name(target.name + ".partial")
+
+
+class _CheckpointScan:
+    """One streaming pass over a checkpoint: ids, offset, endpoint rows."""
+
+    __slots__ = ("run_ids", "intact", "first", "last", "campaigns")
+
+    def __init__(self) -> None:
+        self.run_ids: Set[int] = set()
+        self.intact = 0
+        self.first: Optional[Row] = None
+        self.last: Optional[Row] = None
+        self.campaigns: Set[object] = set()
+
+
+def _scan(path: object) -> _CheckpointScan:
+    scan = _CheckpointScan()
+    # A parse failure is tolerated only on the *final* line; remember it
+    # and raise retroactively if any further line proves it was mid-file.
+    deferred: Optional[str] = None
+    with open(path, "rb") as handle:
+        for number, raw in enumerate(iter(handle.readline, b""), start=1):
+            if deferred is not None:
+                raise ValueError(deferred)
+            if not raw.endswith(b"\n"):
+                break  # torn tail: crash before the newline was written
+            line = raw[:-1].strip()
+            if not line:
+                scan.intact += len(raw)
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                # Torn final line whose newline made it to disk.
+                deferred = f"{path}: corrupt checkpoint line {number} ({exc})"
+                continue
+            run_id = row.get("run_id") if isinstance(row, dict) else None
+            if not isinstance(run_id, int):
+                raise ValueError(
+                    f"{path}: checkpoint line {number} has no integer run_id"
+                )
+            scan.run_ids.add(run_id)
+            scan.campaigns.add(row.get("campaign"))
+            if scan.first is None:
+                scan.first = row
+            scan.last = row
+            scan.intact += len(raw)
+    return scan
+
+
+def scan_checkpoint(path: object) -> Tuple[Set[int], int]:
+    """Recover ``(recorded run_ids, intact byte length)`` from a checkpoint.
+
+    A campaign killed mid-``write`` can leave one torn trailing line; it is
+    excluded from the id set and from the returned byte offset, so resuming
+    truncates it and re-executes that run.  Corruption anywhere *before*
+    the final line raises ``ValueError`` — that file is not a checkpoint
+    this code ever wrote.  The scan streams line by line: memory stays
+    O(one line) however large the checkpoint grew.
+    """
+    scan = _scan(path)
+    return scan.run_ids, scan.intact
+
+
+def validate_resume(spec, checkpoint: object) -> Tuple[Set[int], int]:
+    """Scan ``checkpoint`` and validate that ``spec`` may resume from it.
+
+    ``spec`` is any object with ``name``, ``total_runs`` and ``iter_runs()``
+    — a :class:`~repro.campaigns.spec.CampaignSpec` (duck-typed so this
+    module needs no spec import).  Returns ``(recorded run_ids, intact
+    byte length)``; truncate the file to that length before appending.
+
+    Raises :class:`ValueError` when the checkpoint is corrupt, names a
+    different campaign, records a ``run_id`` outside this grid, or fails
+    the O(1)-memory seed spot-check: the first and last recorded rows must
+    carry exactly the seeds this spec derives for their run_ids, which
+    catches a ``--seed`` override or an edited axis order — resuming past
+    any of these would finalize a mixed file no single-shot run matches.
+    Both the CLI's ``--resume`` and API callers building on
+    :func:`~repro.campaigns.runner.iter_campaign`'s ``skip_run_ids``
+    should gate on this.
+    """
+    path = Path(checkpoint)
+    scan = _scan(path)  # single parse pass: ids, offset, endpoint rows
+    if not scan.run_ids:
+        return scan.run_ids, scan.intact
+    foreign = scan.campaigns - {spec.name}
+    if foreign:
+        raise ValueError(
+            f"checkpoint {path} belongs to campaign "
+            f"{next(iter(foreign))!r}, not {spec.name!r}"
+        )
+    if max(scan.run_ids) >= spec.total_runs:
+        raise ValueError(
+            f"checkpoint {path} records run {max(scan.run_ids)} but this "
+            f"grid has only {spec.total_runs} runs (spec changed?)"
+        )
+    expected = {
+        row["run_id"]: row.get("seed") for row in (scan.first, scan.last)
+    }
+    for run in spec.iter_runs():
+        if run.run_id in expected:
+            if expected.pop(run.run_id) != run.seed:
+                raise ValueError(
+                    f"checkpoint {path} was recorded with a different "
+                    f"campaign seed or grid (run {run.run_id} seed "
+                    "mismatch)"
+                )
+            if not expected:
+                break
+    return scan.run_ids, scan.intact
+
+
+def finalize_checkpoint(checkpoint: object, out: object) -> Path:
+    """Sort a complete checkpoint into the canonical final snapshot.
+
+    Rows are ordered by ``run_id`` (duplicates — possible only if two
+    resumes raced — keep their first occurrence), written to a temporary
+    sibling and atomically renamed onto ``out``; the checkpoint is removed
+    last, so a crash at any point leaves either a resumable checkpoint or
+    the finished file, never neither.
+
+    This is the one step that holds the full row set in memory (sorting
+    needs it); the *runner's* peak memory stays bounded by the in-flight
+    window throughout execution, and a finalize that dies on memory leaves
+    the checkpoint intact to finalize elsewhere.
+    """
+    source = Path(checkpoint)
+    target = Path(out)
+    rows: Dict[int, Row] = {}
+    for row in iter_rows(source):
+        rows.setdefault(int(row["run_id"]), row)
+    ordered = [rows[run_id] for run_id in sorted(rows)]
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(rows_to_jsonl(ordered), encoding="utf-8")
+    os.replace(scratch, target)
+    source.unlink()
+    return target
+
+
+class ResultSink:
+    """A held-open, crash-safe append handle for streaming campaign rows.
+
+    One file handle serves the whole campaign (O(1) ``open`` calls instead
+    of O(rows)); each :meth:`append` writes one canonical line and flushes,
+    so every appended row has reached the OS before the next run executes.
+    Use as a context manager::
+
+        with ResultStore(path).open_append() as sink:
+            for row in iter_campaign(spec):
+                sink.append(row)
+    """
+
+    def __init__(self, path: object) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, row: Row) -> None:
+        self._handle.write(row_to_json(row) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ResultSink":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
 
 
 class ResultStore:
     """An append-friendly JSONL store bound to one path.
 
-    ``append`` streams rows out as a campaign progresses (crash-safe:
-    completed rows survive an interrupted campaign); ``write`` replaces the
-    file with a canonical snapshot.
+    :meth:`open_append` is the streaming path: a held-open
+    :class:`ResultSink` the campaign loop appends through as runs complete.
+    :meth:`append` is the one-shot convenience (open, write one row,
+    close); :meth:`write` replaces the file with a canonical snapshot;
+    :meth:`recorded_run_ids` reads back which runs a checkpoint already
+    holds.
     """
 
     def __init__(self, path: object) -> None:
         self.path = Path(path)
 
+    def open_append(self) -> ResultSink:
+        return ResultSink(self.path)
+
     def append(self, row: Row) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(row_to_json(row) + "\n")
+        with self.open_append() as sink:
+            sink.append(row)
+
+    def recorded_run_ids(self) -> Set[int]:
+        """Run ids with an intact row in the file (empty if it is absent)."""
+        if not self.path.exists():
+            return set()
+        run_ids, _ = scan_checkpoint(self.path)
+        return run_ids
 
     def write(self, rows: Iterable[Row]) -> Path:
         return write_rows(self.path, rows)

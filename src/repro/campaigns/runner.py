@@ -13,10 +13,17 @@ run's :class:`~repro.scenarios.spec.ScenarioSpec` with the per-run derived
 seed — the runner no longer hand-assembles any of them, and crash scripts
 execute on the timed engine too (only ``crashes > f`` stays inapplicable).
 
-:func:`run_campaign` executes the grid either inline (``workers=1``) or on a
-:class:`~concurrent.futures.ProcessPoolExecutor` with chunked dispatch.
-Because every run's seed is derived from its coordinates, the collected rows
-are identical for every worker count (rows are ordered by ``run_id``).
+:func:`iter_campaign` is the streaming primitive: it lazily draws runs from
+:meth:`CampaignSpec.iter_runs`, dispatches them inline (``workers=1``) or
+onto a :class:`~concurrent.futures.ProcessPoolExecutor` with a **bounded
+in-flight window** (completed rows are yielded as they finish — no
+head-of-line blocking, and peak row memory is O(window), not O(grid)), and
+skips any ``run_id`` in ``skip_run_ids`` — which is how ``--resume``
+completes an interrupted campaign.  Rows arrive in completion order;
+because every run's seed is derived from its coordinates, sorting the
+stream by ``run_id`` reproduces the byte-identical canonical file at any
+worker count.  :func:`run_campaign` is the collect-and-sort convenience
+wrapper over it.
 
 Runs go straight through the unified execution kernel with
 ``observe="metrics"``: no :class:`~repro.analysis.trace.RoundRecord`, trace
@@ -28,8 +35,15 @@ both schedulers.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+)
 
 from repro.campaigns.spec import CampaignSpec, RunSpec, resolve_algorithm
 from repro.core.types import FaultModel
@@ -165,6 +179,70 @@ def execute_run(run: RunSpec) -> Row:
     return row
 
 
+#: Default in-flight futures per worker before dispatch pauses.
+WINDOW_PER_WORKER = 4
+
+
+def iter_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+    skip_run_ids: Optional[AbstractSet[int]] = None,
+    window: Optional[int] = None,
+) -> Iterator[Row]:
+    """Stream result rows as runs complete (completion order, not run_id).
+
+    Runs are drawn lazily from :meth:`CampaignSpec.iter_runs`; any id in
+    ``skip_run_ids`` (runs a checkpoint already recorded) is skipped without
+    executing.  With ``workers > 1``, at most ``window`` futures
+    (default ``4 × workers``) are in flight at once: completed rows are
+    yielded via :func:`concurrent.futures.wait` as soon as they finish, so
+    one slow cell never blocks the stream and memory stays bounded by the
+    window regardless of grid size.  ``progress(completed, total)`` counts
+    skipped runs as already completed.  Abandoning the iterator mid-stream
+    shuts the pool down (queued runs are cancelled, in-flight runs finish
+    and are discarded).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be ≥ 1, got {workers}")
+    if window is not None and window < 1:
+        raise ValueError(f"window must be ≥ 1, got {window}")
+    skip = frozenset(skip_run_ids or ())
+    total = spec.total_runs
+    completed = len(skip)
+    runs = (run for run in spec.iter_runs() if run.run_id not in skip)
+
+    def advance(row: Row) -> Row:
+        nonlocal completed
+        completed += 1
+        if progress is not None:
+            progress(completed, total)
+        return row
+
+    if workers == 1:
+        for run in runs:
+            yield advance(execute_run(run))
+        return
+
+    window = window or workers * WINDOW_PER_WORKER
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        pending = set()
+        for run in runs:
+            pending.add(pool.submit(execute_run, run))
+            if len(pending) >= window:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield advance(future.result())
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield advance(future.result())
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
@@ -173,26 +251,10 @@ def run_campaign(
 ) -> List[Row]:
     """Execute every run of ``spec`` and return rows ordered by ``run_id``.
 
-    With ``workers > 1`` runs are dispatched in chunks to a process pool;
-    per-run seeds make the result independent of the worker count.
+    The collect-and-sort wrapper over :func:`iter_campaign` — use the
+    generator directly (with a :class:`~repro.campaigns.results.ResultSink`)
+    when the grid is too large to hold in memory.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be ≥ 1, got {workers}")
-    runs = spec.expand()
-    total = len(runs)
-    rows: List[Row] = []
-    if workers == 1 or total <= 1:
-        for completed, run in enumerate(runs, start=1):
-            rows.append(execute_run(run))
-            if progress is not None:
-                progress(completed, total)
-    else:
-        chunksize = max(1, total // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            iterator = pool.map(execute_run, runs, chunksize=chunksize)
-            for completed, row in enumerate(iterator, start=1):
-                rows.append(row)
-                if progress is not None:
-                    progress(completed, total)
+    rows = list(iter_campaign(spec, workers=workers, progress=progress))
     rows.sort(key=lambda row: row["run_id"])
     return rows

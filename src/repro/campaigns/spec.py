@@ -4,8 +4,10 @@ A :class:`CampaignSpec` names the axes of an experiment — algorithms (builder
 names or ``class-N`` FLV classes), ``(n, b, f)`` resilience points,
 *scenarios* (declarative :class:`~repro.scenarios.spec.ScenarioSpec`
 environments or registered preset names), engines, repetitions — and
-:meth:`expand`\\ s them into fully-resolved :class:`RunSpec` objects, one per
-run.  Each run's seed is derived deterministically from the campaign seed
+expands them into fully-resolved :class:`RunSpec` objects, one per run:
+lazily via :meth:`CampaignSpec.iter_runs` (what the streaming runner
+consumes) or as a list via :meth:`CampaignSpec.expand`.  Each run's seed is
+derived deterministically from the campaign seed
 and the run's *coordinates* (not its position in the expansion), so results
 are reproducible regardless of worker count or axis ordering.
 
@@ -29,7 +31,7 @@ import itertools
 import json
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.core.classification import AlgorithmClass, build_class_parameters
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
@@ -212,9 +214,15 @@ class CampaignSpec:
             * self.repetitions
         )
 
-    def expand(self) -> List[RunSpec]:
-        """The full grid, in deterministic axis order with derived seeds."""
-        runs: List[RunSpec] = []
+    def iter_runs(self) -> Iterator[RunSpec]:
+        """Lazily yield the grid in deterministic axis order.
+
+        Run ids follow the axis order and seeds derive from coordinates,
+        so the stream is identical to ``expand()`` — but nothing beyond the
+        run being yielded is ever materialized, which is what lets the
+        streaming runner hold memory at O(in-flight window) on grids of
+        millions of cells.
+        """
         grid = itertools.product(
             self.algorithms,
             self.models,
@@ -238,8 +246,11 @@ class CampaignSpec:
                 seed=0,
                 max_phases=self.max_phases,
             )
-            runs.append(replace(run, seed=derive_seed(self.seed, run.key())))
-        return runs
+            yield replace(run, seed=derive_seed(self.seed, run.key()))
+
+    def expand(self) -> List[RunSpec]:
+        """The full grid as a list (see :meth:`iter_runs` for the lazy form)."""
+        return list(self.iter_runs())
 
     def to_mapping(self) -> Dict[str, object]:
         """A JSON/TOML-friendly mapping (inverse of :meth:`from_mapping`)."""

@@ -14,6 +14,7 @@ Usage examples::
     python -m repro.cli campaign list
     python -m repro.cli campaign run grid-demo --workers 4
     python -m repro.cli campaign run myspec.json --out results.jsonl
+    python -m repro.cli campaign run myspec.json --out results.jsonl --resume
     python -m repro.cli campaign report results.jsonl
 """
 
@@ -267,16 +268,66 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``campaign run`` exit code when ``--stop-after`` leaves a checkpoint.
+EXIT_INTERRUPTED = 3
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import os
     from dataclasses import replace as dc_replace
 
-    from repro.campaigns import format_report, run_campaign, summarize, write_rows
+    from repro.campaigns import format_report, iter_campaign
+    from repro.campaigns.aggregate import SummaryFold
+    from repro.campaigns.results import (
+        ResultStore,
+        checkpoint_path,
+        finalize_checkpoint,
+        iter_rows,
+        validate_resume,
+    )
 
     spec = _load_campaign(args.spec)
     if spec is None:
         return 2
     if args.seed is not None:
         spec = dc_replace(spec, seed=args.seed)
+    out = Path(args.out or f"{spec.name}.results.jsonl")
+    checkpoint = checkpoint_path(out)
+
+    skip: set = set()
+    if args.resume:
+        if not checkpoint.exists():
+            hint = (
+                f" ({out} exists — campaign already finalized?)"
+                if out.exists()
+                else ""
+            )
+            print(
+                f"nothing to resume: no checkpoint at {checkpoint}{hint}",
+                file=sys.stderr,
+            )
+            return 2
+        # Validation before any mutation: a corrupt, foreign, reseeded or
+        # reshaped checkpoint is refused untouched (delete it to start
+        # over).  Only then is a torn final line truncated so new appends
+        # start on a clean row.
+        try:
+            skip, intact = validate_resume(spec, checkpoint)
+        except ValueError as exc:
+            print(
+                f"cannot resume: {exc}; delete the checkpoint to start over",
+                file=sys.stderr,
+            )
+            return 2
+        os.truncate(checkpoint, intact)
+    elif checkpoint.exists():
+        print(
+            f"checkpoint {checkpoint} already exists; "
+            "pass --resume to complete it or delete it to start over",
+            file=sys.stderr,
+        )
+        return 2
+
     total = spec.total_runs
     step = max(1, total // 10)
 
@@ -285,24 +336,71 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             print(f"  {completed}/{_total} runs", file=sys.stderr)
 
     print(
-        f"campaign {spec.name!r}: {total} runs, {args.workers} worker(s), "
-        f"seed {spec.seed}",
+        f"campaign {spec.name!r}: {total} runs"
+        + (f" ({len(skip)} already recorded)" if skip else "")
+        + f", {args.workers} worker(s), seed {spec.seed}",
         file=sys.stderr,
     )
-    rows = run_campaign(spec, workers=args.workers, progress=progress)
-    out = args.out or f"{spec.name}.results.jsonl"
-    write_rows(out, rows)
-    print(f"wrote {len(rows)} rows to {out}", file=sys.stderr)
-    if not args.no_report:
-        print(format_report(summarize(rows)))
-    errors = sum(1 for row in rows if row["status"] == "error")
-    violations = sum(
-        1
-        for row in rows
+    # Error/violation counts and the per-cell report fold in the same pass
+    # that streams rows to the checkpoint.  Only a resumed campaign needs a
+    # post-finalize file pass instead: rows recorded by the earlier session
+    # never flow through this process's run loop.
+    errors = 0
+    violations = 0
+    fold = SummaryFold() if not args.no_report else None
+
+    def absorb(row) -> None:
+        nonlocal errors, violations
+        if row.get("status") == "error":
+            errors += 1
         if any(
-            row[prop] is False for prop in ("agreement", "validity", "unanimity")
+            row.get(prop) is False
+            for prop in ("agreement", "validity", "unanimity")
+        ):
+            violations += 1
+        if fold is not None:
+            fold.add(row)
+
+    executed = 0
+    interrupted = False
+    store = ResultStore(checkpoint)
+    try:
+        with store.open_append() as sink:
+            for row in iter_campaign(
+                spec,
+                workers=args.workers,
+                progress=progress,
+                skip_run_ids=skip,
+            ):
+                sink.append(row)
+                if not skip:
+                    absorb(row)
+                executed += 1
+                if args.stop_after is not None and executed >= args.stop_after:
+                    interrupted = True
+                    break
+    except KeyboardInterrupt:
+        print(
+            f"interrupted after {executed} run(s); checkpoint retained at "
+            f"{checkpoint} — rerun with --resume to complete",
+            file=sys.stderr,
         )
-    )
+        return 130
+    if interrupted:
+        print(
+            f"stopped after {executed} run(s); checkpoint retained at "
+            f"{checkpoint} — rerun with --resume to complete",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+
+    finalize_checkpoint(checkpoint, out)
+    print(f"wrote {total} rows to {out}", file=sys.stderr)
+    if skip:
+        for row in iter_rows(out):
+            absorb(row)
+    if fold is not None:
+        print(format_report(fold.summaries()))
     if errors or violations:
         print(
             f"{errors} error row(s), {violations} safety violation(s)",
@@ -313,33 +411,42 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    from repro.campaigns import (
-        DEFAULT_GROUP_KEYS,
-        format_report,
-        read_rows,
-        summarize,
-    )
+    from repro.campaigns import DEFAULT_GROUP_KEYS, format_report
+    from repro.campaigns.aggregate import SummaryFold
+    from repro.campaigns.results import iter_rows
 
-    try:
-        rows = read_rows(args.results)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read {args.results}: {exc}", file=sys.stderr)
-        return 2
     keys = (
         tuple(key.strip() for key in args.group_by.split(",") if key.strip())
         if args.group_by
         else DEFAULT_GROUP_KEYS
     )
-    known = {field for row in rows for field in row}
-    unknown = [key for key in keys if known and key not in known]
-    if unknown:
+    # One streaming pass: every row folds into its cell immediately, so
+    # report memory scales with cells, not grid rows.  A group-by key is
+    # valid if *any* row carries it; the field union is only accumulated
+    # while some key is still unseen (one row's worth of work in practice).
+    fold = SummaryFold(keys)
+    missing = set(keys)
+    fields: set = set()
+    empty = True
+    try:
+        for row in iter_rows(args.results):
+            empty = False
+            if missing:
+                fields |= row.keys()
+                missing -= row.keys()
+            fold.add(row)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.results}: {exc}", file=sys.stderr)
+        return 2
+    if missing and not empty:
+        unknown = [key for key in keys if key in missing]
         print(
             f"unknown --group-by field(s) {', '.join(unknown)}; "
-            f"row fields: {', '.join(sorted(known))}",
+            f"row fields: {', '.join(sorted(fields))}",
             file=sys.stderr,
         )
         return 2
-    print(format_report(summarize(rows, keys), keys))
+    print(format_report(fold.summaries(), keys))
     return 0
 
 
@@ -423,6 +530,20 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--quiet", action="store_true", help="suppress progress")
     crun.add_argument(
         "--no-report", action="store_true", help="skip the aggregated summary"
+    )
+    crun.add_argument(
+        "--resume",
+        action="store_true",
+        help="complete an interrupted campaign from its <out>.partial "
+        "checkpoint (recorded runs are skipped, not re-executed)",
+    )
+    crun.add_argument(
+        "--stop-after",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="stop gracefully after N runs this session, leaving the "
+        "checkpoint for --resume (exit code 3); used by interrupt testing",
     )
 
     creport = csub.add_parser("report", help="aggregate a results JSONL file")

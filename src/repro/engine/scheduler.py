@@ -86,7 +86,21 @@ class LockstepScheduler(RoundScheduler):
     def deliver_round(
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
     ) -> RoundDelivery:
-        return RoundDelivery(self._policy.deliver(info, outbound, ctx))
+        matrix = self._policy.deliver(info, outbound, ctx)
+        # A policy withholds by omission; count each sent edge that did not
+        # reach its destination as dropped, so sent == delivered + dropped
+        # holds on both scheduler branches.  Edge-exact (not a count
+        # difference) because a Pcons oracle may also *inject* deliveries —
+        # fanning a sender's canonical payload to audience members it never
+        # addressed — and dropped must never go negative from that.
+        dropped = 0
+        get = matrix.get
+        empty: Dict[ProcessId, object] = {}
+        for sender, messages in outbound.items():
+            for dest in messages:
+                if sender not in get(dest, empty):
+                    dropped += 1
+        return RoundDelivery(matrix, dropped=dropped)
 
 
 class TimedScheduler(RoundScheduler):
@@ -155,14 +169,21 @@ class TimedScheduler(RoundScheduler):
                         dropped += 1
         else:
             for sender, messages in outbound.items():
+                canonicalize = (
+                    info.kind is RoundKind.SELECTION and sender in ctx.byzantine
+                )
                 for dest, payload in messages.items():
+                    if canonicalize:
+                        # Canonicalize *before* the delivery filter: the
+                        # payload an equivocator is pinned to must not
+                        # depend on which edge survives a partition, or the
+                        # filtered run diverges from the filter-free one.
+                        payload = canonical.setdefault(sender, payload)
                     if not flt(info, sender, dest, ctx):
                         # The scenario's communication schedule suppresses
                         # this edge (partition side, bad-period loss, …).
                         dropped += 1
                         continue
-                    if info.kind is RoundKind.SELECTION and sender in ctx.byzantine:
-                        payload = canonical.setdefault(sender, payload)
                     transit = self._network.transit_time(self._now, sender, dest)
                     if self._now + transit <= deadline:
                         self._queue.push(self._now + transit, (dest, sender, payload))

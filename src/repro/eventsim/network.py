@@ -39,6 +39,12 @@ class FixedLatency(LatencyModel):
 
     latency: float = 1.0
 
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ValueError(
+                f"latency must be positive, got {self.latency}"
+            )
+
     def sample(self, rng: random.Random, sender: ProcessId, dest: ProcessId) -> float:
         return self.latency
 
@@ -133,6 +139,17 @@ class NetworkSpec:
     def __post_init__(self) -> None:
         if self.kind not in ("uniform", "fixed"):
             raise ValueError(f"unknown latency kind {self.kind!r}")
+        # Validate the latency parameters up front, exactly as building the
+        # model would: LatencyModel.sample promises positive latencies.
+        if self.kind == "fixed":
+            if self.low <= 0:
+                raise ValueError(
+                    f"fixed latency must be positive, got {self.low}"
+                )
+        elif not 0 < self.low <= self.high:
+            raise ValueError(
+                f"need 0 < low ≤ high, got [{self.low}, {self.high}]"
+            )
         if self.round_duration <= 0:
             raise ValueError("round_duration must be positive")
 

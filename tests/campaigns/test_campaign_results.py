@@ -6,6 +6,7 @@ import pytest
 
 from repro.campaigns.aggregate import (
     CellSummary,
+    SummaryFold,
     format_report,
     percentile,
     summarize,
@@ -13,6 +14,7 @@ from repro.campaigns.aggregate import (
 from repro.campaigns.presets import BUILTIN_CAMPAIGNS
 from repro.campaigns.results import (
     ResultStore,
+    iter_rows,
     read_rows,
     rows_to_jsonl,
     write_rows,
@@ -63,6 +65,26 @@ class TestStore:
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             read_rows(path)
 
+    def test_open_append_streams_through_one_handle(self, tmp_path):
+        rows = [make_row(run_id=i) for i in range(6)]
+        store = ResultStore(tmp_path / "stream" / "sink.jsonl")
+        with store.open_append() as sink:
+            for row in rows:
+                sink.append(row)
+        assert store.path.read_text() == rows_to_jsonl(rows)
+        assert store.recorded_run_ids() == set(range(6))
+
+    def test_recorded_run_ids_of_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "nope.jsonl").recorded_run_ids() == set()
+
+    def test_iter_rows_is_lazy_and_matches_read(self, tmp_path):
+        rows = [make_row(run_id=i) for i in range(3)]
+        path = tmp_path / "lazy.jsonl"
+        write_rows(path, rows)
+        stream = iter_rows(path)
+        assert next(stream) == rows[0]
+        assert list(stream) == rows[1:]
+
 
 class TestAggregate:
     def test_percentile(self):
@@ -110,6 +132,44 @@ class TestAggregate:
     def test_format_report_renders(self):
         report = format_report(summarize([make_row()]))
         assert "ttd-p99" in report and "pbft" in report
+
+    def test_inadmissible_and_inapplicable_are_distinct(self):
+        """A resilience-frontier rejection and an unhostable scenario are
+        different signals — the report must not fold them together."""
+        rows = [
+            make_row(run_id=0),
+            make_row(run_id=1, status="inadmissible", agreement=None),
+            make_row(run_id=2, status="inadmissible", agreement=None),
+            make_row(run_id=3, status="inapplicable", agreement=None),
+        ]
+        (summary,) = summarize(rows)
+        assert summary.inadmissible == 2
+        assert summary.inapplicable == 1
+        header = format_report([summary]).splitlines()[0]
+        assert "inadm" in header and "inappl" in header
+
+    def test_summarize_accepts_a_generator(self):
+        rows = [make_row(run_id=i, time_to_decision=float(i)) for i in range(4)]
+        assert summarize(iter(rows)) == summarize(rows)
+
+    def test_summary_fold_is_incremental(self):
+        rows = [
+            make_row(run_id=0, time_to_decision=5.0),
+            make_row(run_id=1, status="error", agreement=None,
+                     time_to_decision=None, error="boom"),
+            make_row(run_id=2, time_to_decision=10.0),
+        ]
+        fold = SummaryFold()
+        for row in rows:
+            fold.add(row)
+        assert fold.summaries() == summarize(rows)
+        # Reading summaries mid-stream must not corrupt the fold.
+        partial_fold = SummaryFold()
+        partial_fold.add(rows[0])
+        partial_fold.summaries()
+        partial_fold.add(rows[1])
+        partial_fold.add(rows[2])
+        assert partial_fold.summaries() == summarize(rows)
 
     def test_custom_group_keys(self):
         rows = [make_row(run_id=0), make_row(run_id=1, engine="lockstep")]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.eventsim.network import (
     FixedLatency,
+    NetworkSpec,
     PartialSynchronyNetwork,
     UniformLatency,
 )
@@ -15,6 +16,33 @@ def test_fixed_latency():
     model = FixedLatency(2.5)
     rng = random.Random(0)
     assert model.sample(rng, 0, 1) == 2.5
+
+
+def test_fixed_latency_must_be_positive():
+    """LatencyModel.sample promises positive values; FixedLatency validates
+    like UniformLatency always has."""
+    with pytest.raises(ValueError, match="positive"):
+        FixedLatency(0.0)
+    with pytest.raises(ValueError, match="positive"):
+        FixedLatency(-1.0)
+
+
+class TestNetworkSpecValidation:
+    def test_fixed_kind_rejects_non_positive_latency(self):
+        with pytest.raises(ValueError, match="positive"):
+            NetworkSpec(kind="fixed", low=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            NetworkSpec(kind="fixed", low=-2.0)
+
+    def test_uniform_kind_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="low"):
+            NetworkSpec(kind="uniform", low=0.0, high=1.0)
+        with pytest.raises(ValueError, match="low"):
+            NetworkSpec(kind="uniform", low=3.0, high=1.0)
+
+    def test_valid_specs_still_build(self):
+        assert NetworkSpec(kind="fixed", low=1.5).build(0) is not None
+        assert NetworkSpec(kind="uniform", low=0.5, high=2.0).build(0) is not None
 
 
 def test_uniform_latency_bounds():
