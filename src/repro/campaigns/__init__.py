@@ -28,11 +28,14 @@ keep their derived seeds.  The same campaign seed yields byte-identical
 results at any worker count.
 
 Execution is **streaming and resumable**: :func:`iter_campaign` yields rows
-as runs complete (bounded in-flight window — memory O(window), not
-O(grid)), each row lands in a crash-safe ``<out>.partial`` checkpoint the
-moment it finishes, and ``repro campaign run --resume`` skips the recorded
-``run_id``\\ s and completes the file; the finalized snapshot is
-byte-identical to a single-shot run.
+as runs complete (runs dispatched in chunks of ``chunk`` per pool future,
+auto-sized from the grid, under a bounded in-flight window accounted in
+runs — memory O(window), not O(grid)), each row lands in a crash-safe
+``<out>.partial`` checkpoint as its chunk completes (a crash re-executes at
+most the in-flight window of runs on ``--resume``; pass ``chunk=1`` for
+per-run checkpoint granularity), and ``repro campaign run --resume`` skips
+the recorded ``run_id``\\ s and completes the file; the finalized snapshot
+is byte-identical to a single-shot run at any ``(workers, chunk)``.
 """
 
 from repro.campaigns.aggregate import (
@@ -57,7 +60,12 @@ from repro.campaigns.results import (
     validate_resume,
     write_rows,
 )
-from repro.campaigns.runner import execute_run, iter_campaign, run_campaign
+from repro.campaigns.runner import (
+    execute_chunk,
+    execute_run,
+    iter_campaign,
+    run_campaign,
+)
 from repro.campaigns.spec import (
     CampaignSpec,
     FaultSpec,
@@ -83,6 +91,7 @@ __all__ = [
     "SummaryFold",
     "checkpoint_path",
     "derive_seed",
+    "execute_chunk",
     "execute_run",
     "finalize_checkpoint",
     "format_report",

@@ -15,15 +15,17 @@ execute on the timed engine too (only ``crashes > f`` stays inapplicable).
 
 :func:`iter_campaign` is the streaming primitive: it lazily draws runs from
 :meth:`CampaignSpec.iter_runs`, dispatches them inline (``workers=1``) or
-onto a :class:`~concurrent.futures.ProcessPoolExecutor` with a **bounded
-in-flight window** (completed rows are yielded as they finish — no
-head-of-line blocking, and peak row memory is O(window), not O(grid)), and
-skips any ``run_id`` in ``skip_run_ids`` — which is how ``--resume``
-completes an interrupted campaign.  Rows arrive in completion order;
-because every run's seed is derived from its coordinates, sorting the
-stream by ``run_id`` reproduces the byte-identical canonical file at any
-worker count.  :func:`run_campaign` is the collect-and-sort convenience
-wrapper over it.
+onto a :class:`~concurrent.futures.ProcessPoolExecutor` in **chunks of
+``chunk`` runs per future** (auto-sized from the grid when unset) under a
+**bounded in-flight window accounted in runs** (completed rows are yielded
+chunk by chunk as futures finish — blocking is bounded by one chunk, and
+peak row memory is O(window), not O(grid)), and skips any ``run_id`` in
+``skip_run_ids`` —
+which is how ``--resume`` completes an interrupted campaign.  Rows arrive
+in completion order; because every run's seed is derived from its
+coordinates, sorting the stream by ``run_id`` reproduces the
+byte-identical canonical file at any worker count and any chunk size.
+:func:`run_campaign` is the collect-and-sort convenience wrapper over it.
 
 Runs go straight through the unified execution kernel with
 ``observe="metrics"``: no :class:`~repro.analysis.trace.RoundRecord`, trace
@@ -43,14 +45,18 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Sequence,
+    Tuple,
 )
 
 from repro.campaigns.spec import CampaignSpec, RunSpec, resolve_algorithm
+from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
 from repro.core.types import FaultModel
 from repro.engine.assembly import build_instance
 from repro.engine.kernel import OBSERVE_METRICS, run_instance
 from repro.scenarios.compile import ScenarioInapplicable, compile_scenario
 from repro.scenarios.spec import split_values
+from repro.utils.memo import cached_outcome
 
 #: Result-row type: one flat JSON-serializable mapping per run.
 Row = Dict[str, object]
@@ -97,6 +103,28 @@ def _describe_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
+#: Worker-side memo for :func:`resolve_algorithm`: a 10k-run grid usually
+#: has a few dozen distinct ``(algorithm, model)`` cells, and parameters /
+#: config are frozen dataclasses safe to share across the runs of one
+#: worker process.  Rejections (the resolution exception) are memoized too,
+#: so inadmissible cells short-circuit on every repetition.
+_RESOLVE_MEMO: Dict[Tuple[str, FaultModel], Tuple[bool, object]] = {}
+
+
+def _resolve_algorithm_memo(
+    name: str, model: FaultModel
+) -> Tuple[ConsensusParameters, GenericConsensusConfig]:
+    # Only the deterministic rejections are cached (unknown name, bound
+    # violation); a transient failure (import hiccup, MemoryError) must
+    # not become the cell's sticky verdict for the worker's lifetime.
+    return cached_outcome(
+        _RESOLVE_MEMO,
+        (name, model),
+        lambda: resolve_algorithm(name, model),
+        cache_exceptions=(ValueError, KeyError),
+    )
+
+
 def execute_run(run: RunSpec) -> Row:
     """Execute one grid cell, returning its result row (never raises)."""
     row = _base_row(run)
@@ -106,7 +134,7 @@ def execute_run(run: RunSpec) -> Row:
         row.update(status=STATUS_INADMISSIBLE, error=str(exc))
         return row
     try:
-        parameters, config = resolve_algorithm(run.algorithm, model)
+        parameters, config = _resolve_algorithm_memo(run.algorithm, model)
     except ValueError as exc:
         # ParameterError (a ValueError) ⇒ the bound rejects this model.
         row.update(status=STATUS_INADMISSIBLE, error=str(exc))
@@ -179,8 +207,33 @@ def execute_run(run: RunSpec) -> Row:
     return row
 
 
-#: Default in-flight futures per worker before dispatch pauses.
+#: Default in-flight chunks per worker before dispatch pauses (the window
+#: is accounted in runs: ``workers × WINDOW_PER_WORKER × chunk``).
 WINDOW_PER_WORKER = 4
+
+#: Upper bound on the auto-sized chunk: one future never carries more rows
+#: than this, keeping per-future result latency and memory bounded.
+MAX_CHUNK = 32
+
+
+def execute_chunk(runs: Sequence[RunSpec]) -> List[Row]:
+    """Execute a batch of runs in one worker task (one dispatch round-trip).
+
+    Chunking amortizes the per-future submit/pickle/wakeup overhead of the
+    process pool, and lets the worker-side memos (:func:`resolve_algorithm`,
+    scenario compilation templates) stay warm across consecutive runs.
+    """
+    return [execute_run(run) for run in runs]
+
+
+def _auto_chunk(remaining: int, workers: int) -> int:
+    """Runs per future when the caller does not fix ``chunk``.
+
+    Large enough to amortize dispatch overhead, small enough to keep at
+    least ``8 × workers`` chunks over the whole campaign (load balancing
+    and progress granularity), capped at :data:`MAX_CHUNK`.
+    """
+    return max(1, min(MAX_CHUNK, remaining // (workers * 8)))
 
 
 def iter_campaign(
@@ -190,24 +243,31 @@ def iter_campaign(
     progress: Optional[ProgressFn] = None,
     skip_run_ids: Optional[AbstractSet[int]] = None,
     window: Optional[int] = None,
+    chunk: Optional[int] = None,
 ) -> Iterator[Row]:
     """Stream result rows as runs complete (completion order, not run_id).
 
     Runs are drawn lazily from :meth:`CampaignSpec.iter_runs`; any id in
     ``skip_run_ids`` (runs a checkpoint already recorded) is skipped without
-    executing.  With ``workers > 1``, at most ``window`` futures
-    (default ``4 × workers``) are in flight at once: completed rows are
-    yielded via :func:`concurrent.futures.wait` as soon as they finish, so
-    one slow cell never blocks the stream and memory stays bounded by the
-    window regardless of grid size.  ``progress(completed, total)`` counts
-    skipped runs as already completed.  Abandoning the iterator mid-stream
-    shuts the pool down (queued runs are cancelled, in-flight runs finish
-    and are discarded).
+    executing.  With ``workers > 1``, runs are submitted ``chunk`` at a time
+    per future (auto-sized from the grid when ``None``) and at most
+    ``window`` *runs* (default ``4 × workers × chunk``) are in flight at
+    once: completed rows are yielded via :func:`concurrent.futures.wait` as
+    soon as their chunk finishes, so a slow cell delays at most its own
+    chunk-mates (``chunk=1`` restores per-run streaming) and memory stays
+    bounded by the window regardless of grid size.
+    ``progress(completed, total)`` counts skipped runs as already
+    completed.  Chunking changes only dispatch batching — row contents are
+    byte-identical at any ``(workers, chunk)``.  Abandoning the iterator
+    mid-stream shuts the pool down (queued runs are cancelled, in-flight
+    runs finish and are discarded).
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
     if window is not None and window < 1:
         raise ValueError(f"window must be ≥ 1, got {window}")
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be ≥ 1, got {chunk}")
     skip = frozenset(skip_run_ids or ())
     total = spec.total_runs
     completed = len(skip)
@@ -225,20 +285,46 @@ def iter_campaign(
             yield advance(execute_run(run))
         return
 
-    window = window or workers * WINDOW_PER_WORKER
+    if chunk is None:
+        chunk = _auto_chunk(total - len(skip), workers)
+    if window is not None:
+        # A caller-fixed window caps in-flight *runs*; chunks bigger than
+        # one worker's share of it would serialize the pool (the first
+        # submit alone fills the window), so shrink them to fit.
+        chunk = min(chunk, max(1, window // workers))
+    else:
+        window = workers * WINDOW_PER_WORKER * chunk
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        pending = set()
-        for run in runs:
-            pending.add(pool.submit(execute_run, run))
-            if len(pending) >= window:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield advance(future.result())
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        pending: Dict[object, int] = {}  # future → runs it carries
+        inflight = 0
+        batch: List[RunSpec] = []
+
+        def submit() -> None:
+            nonlocal inflight
+            future = pool.submit(execute_chunk, tuple(batch))
+            pending[future] = len(batch)
+            inflight += len(batch)
+            batch.clear()
+
+        def drain() -> Iterator[Row]:
+            nonlocal inflight
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                yield advance(future.result())
+                inflight -= pending.pop(future)
+                for row in future.result():
+                    yield advance(row)
+
+        for run in runs:
+            batch.append(run)
+            if len(batch) >= chunk:
+                submit()
+                while inflight >= window:
+                    yield from drain()
+        if batch:
+            submit()
+        while pending:
+            yield from drain()
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
 
@@ -248,6 +334,7 @@ def run_campaign(
     *,
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
+    chunk: Optional[int] = None,
 ) -> List[Row]:
     """Execute every run of ``spec`` and return rows ordered by ``run_id``.
 
@@ -255,6 +342,8 @@ def run_campaign(
     generator directly (with a :class:`~repro.campaigns.results.ResultSink`)
     when the grid is too large to hold in memory.
     """
-    rows = list(iter_campaign(spec, workers=workers, progress=progress))
+    rows = list(
+        iter_campaign(spec, workers=workers, progress=progress, chunk=chunk)
+    )
     rows.sort(key=lambda row: row["run_id"])
     return rows

@@ -371,6 +371,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 progress=progress,
                 skip_run_ids=skip,
+                chunk=args.chunk,
             ):
                 sink.append(row)
                 if not skip:
@@ -525,6 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
     crun = csub.add_parser("run", help="expand and execute a campaign grid")
     crun.add_argument("spec", help="spec file (.json/.toml) or built-in name")
     crun.add_argument("--workers", type=positive_int, default=1)
+    crun.add_argument(
+        "--chunk",
+        type=positive_int,
+        default=None,
+        help="runs submitted per worker task (default: auto-sized from the "
+        "grid); row contents are identical at any chunk size",
+    )
     crun.add_argument("--seed", type=int, default=None, help="override campaign seed")
     crun.add_argument("--out", default=None, help="results JSONL path")
     crun.add_argument("--quiet", action="store_true", help="suppress progress")

@@ -17,6 +17,16 @@ if rounds are timed, when does the round end?
   would enforce; stretch ``selection_round_factor`` to model the extra
   micro-rounds such an implementation costs.
 
+Within one round every ``(sender, dest)`` edge carries at most one message,
+so the delivery matrix is independent of arrival order: the timed scheduler
+therefore compares each sampled transit against the deadline directly —
+O(m) per round, no event heap — while drawing latencies in exactly the
+sender-major, dest-minor order the historical heap path used, so seeded
+runs are unchanged.  Set ``REPRO_SLOW_SCHEDULER=1`` to force the legacy
+:class:`~repro.eventsim.events.EventQueue` push/pop path (the identity
+suite diffs the two); ``eventsim`` users that genuinely need ordered
+arrival keep using :class:`EventQueue` directly.
+
 Both schedulers inherit the no-impersonation guarantee from the outbound
 matrix they receive: a payload delivered as coming from ``q`` was produced
 by ``q`` in this round.
@@ -25,8 +35,9 @@ by ``q`` in this round.
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.types import ProcessId, RoundInfo, RoundKind
 from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
@@ -40,6 +51,9 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 #: behaviours (partitions, loss, GST prefixes) on the timed engine; a
 #: rejected message counts as dropped before any latency is sampled.
 DeliveryFilter = Callable[[RoundInfo, ProcessId, ProcessId, RunContext], bool]
+
+#: Environment switch selecting the legacy heap-ordered timed delivery.
+SLOW_SCHEDULER_ENV = "REPRO_SLOW_SCHEDULER"
 
 
 @dataclass(frozen=True)
@@ -86,20 +100,23 @@ class LockstepScheduler(RoundScheduler):
     def deliver_round(
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
     ) -> RoundDelivery:
-        matrix = self._policy.deliver(info, outbound, ctx)
-        # A policy withholds by omission; count each sent edge that did not
-        # reach its destination as dropped, so sent == delivered + dropped
-        # holds on both scheduler branches.  Edge-exact (not a count
-        # difference) because a Pcons oracle may also *inject* deliveries —
-        # fanning a sender's canonical payload to audience members it never
-        # addressed — and dropped must never go negative from that.
-        dropped = 0
-        get = matrix.get
-        empty: Dict[ProcessId, object] = {}
-        for sender, messages in outbound.items():
-            for dest in messages:
-                if sender not in get(dest, empty):
-                    dropped += 1
+        # A policy withholds by omission; each sent edge that did not reach
+        # its destination counts as dropped, so sent == delivered + dropped
+        # holds on both scheduler branches.  Exact-delivery policies report
+        # the count themselves (deliver_counted); only policies that cannot
+        # — an oracle enforcing Pcons may also *inject* deliveries, fanning
+        # a sender's canonical payload to audience members it never
+        # addressed — leave it to the edge-exact rescan below, which never
+        # goes negative from such injections.
+        matrix, dropped = self._policy.deliver_counted(info, outbound, ctx)
+        if dropped is None:
+            dropped = 0
+            get = matrix.get
+            empty: Dict[ProcessId, object] = {}
+            for sender, messages in outbound.items():
+                for dest in messages:
+                    if sender not in get(dest, empty):
+                        dropped += 1
         return RoundDelivery(matrix, dropped=dropped)
 
 
@@ -113,24 +130,33 @@ class TimedScheduler(RoundScheduler):
         round_duration: float = 2.5,
         selection_round_factor: float = 1.0,
         delivery_filter: Optional[DeliveryFilter] = None,
+        use_heap: Optional[bool] = None,
     ) -> None:
-        # Imported here: repro.eventsim.runtime (pulled in by the eventsim
-        # package init) imports this module, so a module-level import of
-        # repro.eventsim.events would be circular.
-        from repro.eventsim.events import EventQueue
-
         if round_duration <= 0:
             raise ValueError(f"round_duration must be positive, got {round_duration}")
         self._network = network
         self._round_duration = round_duration
         self._selection_factor = selection_round_factor
         self._filter = delivery_filter
-        self._queue = EventQueue()
+        # ``use_heap`` selects the legacy EventQueue delivery; it defaults
+        # to the REPRO_SLOW_SCHEDULER environment switch so the identity
+        # suite (and worried users) can diff the two paths end to end.
+        if use_heap is None:
+            use_heap = os.environ.get(SLOW_SCHEDULER_ENV, "") not in ("", "0")
+        self._queue = None
+        if use_heap:
+            # Imported here: repro.eventsim.runtime (pulled in by the
+            # eventsim package init) imports this module, so a module-level
+            # import of repro.eventsim.events would be circular.
+            from repro.eventsim.events import EventQueue
+
+            self._queue = EventQueue()
         self._now = 0.0
 
     def reset(self) -> None:
         """Rewind the clock and drop in-flight messages (new run)."""
-        self._queue.clear()
+        if self._queue is not None:
+            self._queue.clear()
         self._now = 0.0
 
     @property
@@ -145,10 +171,117 @@ class TimedScheduler(RoundScheduler):
         if info.kind is RoundKind.SELECTION:
             duration *= self._selection_factor
         deadline = self._now + duration
+        if self._queue is not None:
+            return self._deliver_round_heap(info, outbound, ctx, deadline)
 
-        # Send step at the round's start; sample per-message transit times.
-        # The filter branch is hoisted out of the loop: filter-free runs
-        # (every pre-scenario caller) pay nothing per message.
+        now = self._now
+        network = self._network
+        dropped = 0
+        matrix: DeliveryMatrix = {}
+        setdefault = matrix.setdefault
+        is_selection = info.kind is RoundKind.SELECTION
+        byzantine = ctx.byzantine
+        flt = self._filter
+
+        # Send and deliver in one sweep.  Within one round each edge
+        # carries at most one message, so the matrix does not depend on
+        # arrival order and the deadline test decides delivery directly —
+        # no heap.  Latencies are drawn per sender fan-out in sender-major,
+        # dest-minor order: draw-for-draw the order of the heap path.
+        # Communication closure applies to every receiver, Byzantine
+        # included: a message missing its deadline is dropped.
+        constant = network.constant_transit(now)
+        delivers_all = constant is not None and now + constant <= deadline
+        if flt is None:
+            for sender, messages in outbound.items():
+                if not messages:
+                    continue
+                canonicalize = is_selection and sender in byzantine
+                if constant is not None:
+                    # Post-GST fixed latency: zero RNG draws, one test.
+                    if not delivers_all:
+                        dropped += len(messages)
+                        continue
+                    if canonicalize:
+                        # Pcons canonicalization: one payload per
+                        # Byzantine sender within a selection round.
+                        payload = next(iter(messages.values()))
+                        for dest in messages:
+                            setdefault(dest, {})[sender] = payload
+                    else:
+                        for dest, payload in messages.items():
+                            setdefault(dest, {})[sender] = payload
+                    continue
+                transits = network.sample_fan(now, sender, messages)
+                if canonicalize:
+                    payload = next(iter(messages.values()))
+                    for dest, transit in zip(messages, transits):
+                        if now + transit <= deadline:
+                            setdefault(dest, {})[sender] = payload
+                        else:
+                            dropped += 1
+                else:
+                    for (dest, payload), transit in zip(messages.items(), transits):
+                        if now + transit <= deadline:
+                            setdefault(dest, {})[sender] = payload
+                        else:
+                            dropped += 1
+        else:
+            # Scenario runs: the filter admits edges *before* any latency
+            # is sampled (a suppressed edge draws nothing, as on the heap
+            # path).  The admitted (sender, dest, payload) records are
+            # collected round-wide in sampling order and batched through
+            # one sample_round call.
+            canonical: Dict[ProcessId, object] = {}
+            pending: List[Tuple[ProcessId, ProcessId, object]] = []
+            admit = pending.append
+            for sender, messages in outbound.items():
+                canonicalize = is_selection and sender in byzantine
+                for dest, payload in messages.items():
+                    if canonicalize:
+                        # Canonicalize *before* the delivery filter: the
+                        # payload an equivocator is pinned to must not
+                        # depend on which edge survives a partition, or the
+                        # filtered run diverges from the filter-free one.
+                        payload = canonical.setdefault(sender, payload)
+                    if flt(info, sender, dest, ctx):
+                        admit((sender, dest, payload))
+                    else:
+                        # The scenario's communication schedule suppresses
+                        # this edge (partition side, bad-period loss, …).
+                        dropped += 1
+            if constant is not None:
+                if delivers_all:
+                    for sender, dest, payload in pending:
+                        setdefault(dest, {})[sender] = payload
+                else:
+                    dropped += len(pending)
+            elif pending:
+                transits = network.sample_round(now, pending)
+                for (sender, dest, payload), transit in zip(pending, transits):
+                    if now + transit <= deadline:
+                        setdefault(dest, {})[sender] = payload
+                    else:
+                        dropped += 1
+
+        self._now = deadline
+        return RoundDelivery(matrix, dropped=dropped, end_time=deadline)
+
+    def _deliver_round_heap(
+        self,
+        info: RoundInfo,
+        outbound: OutboundMatrix,
+        ctx: RunContext,
+        deadline: float,
+    ) -> RoundDelivery:
+        """The legacy event-heap delivery (REPRO_SLOW_SCHEDULER=1).
+
+        Samples one transit per message through
+        :meth:`~repro.eventsim.network.PartialSynchronyNetwork.transit_time`
+        and delivers through the :class:`~repro.eventsim.events.EventQueue`
+        in arrival order — O(m log m).  Kept verbatim as the oracle the
+        byte-identity suite diffs the fast path against.
+        """
         canonical: Dict[ProcessId, object] = {}
         dropped = 0
         flt = self._filter
@@ -156,13 +289,8 @@ class TimedScheduler(RoundScheduler):
             for sender, messages in outbound.items():
                 for dest, payload in messages.items():
                     if info.kind is RoundKind.SELECTION and sender in ctx.byzantine:
-                        # Pcons canonicalization: one payload per Byzantine
-                        # sender within a selection round.
                         payload = canonical.setdefault(sender, payload)
                     transit = self._network.transit_time(self._now, sender, dest)
-                    # Communication closure applies to every receiver,
-                    # Byzantine included: a message missing its deadline is
-                    # dropped.
                     if self._now + transit <= deadline:
                         self._queue.push(self._now + transit, (dest, sender, payload))
                     else:
@@ -174,14 +302,8 @@ class TimedScheduler(RoundScheduler):
                 )
                 for dest, payload in messages.items():
                     if canonicalize:
-                        # Canonicalize *before* the delivery filter: the
-                        # payload an equivocator is pinned to must not
-                        # depend on which edge survives a partition, or the
-                        # filtered run diverges from the filter-free one.
                         payload = canonical.setdefault(sender, payload)
                     if not flt(info, sender, dest, ctx):
-                        # The scenario's communication schedule suppresses
-                        # this edge (partition side, bad-period loss, …).
                         dropped += 1
                         continue
                     transit = self._network.transit_time(self._now, sender, dest)
@@ -190,7 +312,6 @@ class TimedScheduler(RoundScheduler):
                     else:
                         dropped += 1
 
-        # Deliver everything that makes the deadline, in arrival order.
         matrix: DeliveryMatrix = {}
         while self._queue:
             arrival = self._queue.peek_time()
@@ -198,7 +319,6 @@ class TimedScheduler(RoundScheduler):
                 break
             dest, sender, payload = self._queue.pop().payload
             matrix.setdefault(dest, {})[sender] = payload
-        # Late messages are dropped: communication-closed rounds.
         dropped += self._queue.clear()
 
         self._now = deadline

@@ -1,4 +1,12 @@
-"""A minimal discrete-event queue (heap-ordered, deterministic tie-break)."""
+"""A minimal discrete-event queue (heap-ordered, deterministic tie-break).
+
+Event-driven simulations that genuinely need ordered arrival use this
+directly.  The timed round scheduler no longer does: within one round each
+edge carries at most one message, so delivery is order-independent and the
+fast path compares deadlines per message instead (see
+``repro.engine.scheduler``; ``REPRO_SLOW_SCHEDULER=1`` restores the heap
+path, which still delivers through this queue).
+"""
 
 from __future__ import annotations
 

@@ -68,7 +68,23 @@ class TimedOutcome:
 
     @property
     def all_decided(self) -> bool:
-        return bool(self.decision_times)
+        """True when every correct process of the run has decided.
+
+        Correct means honest and not crashed *in this execution*, read from
+        the run's ``context`` (processes that decided before crashing stay
+        counted in ``decision_times`` but are no longer required) — the
+        same reference set :meth:`invariant_report`'s termination column
+        uses.  Note a process a crash schedule dooms for a round the run
+        never reached counts as correct here, while the kernel's
+        early-stop condition excludes it; a run can therefore stop
+        "successfully" with ``all_decided`` still false.  A hand-built
+        outcome without a context falls back to the historical "anyone
+        decided" reading, since no reference set exists;
+        :func:`run_timed_consensus` always attaches the context.
+        """
+        if self.context is None:
+            return bool(self.decision_times)
+        return self.context.correct <= self.decision_times.keys()
 
     @property
     def last_decision_time(self) -> Optional[float]:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import AbstractSet, Callable, Iterable, Optional, Set
+from typing import AbstractSet, Callable, Iterable, Optional, Set, Tuple
 
 from repro.core.types import ProcessId, RoundInfo, RoundKind
 from repro.rounds.base import DeliveryMatrix, OutboundMatrix, RunContext
@@ -42,6 +42,11 @@ from repro.rounds.schedule import GoodBadSchedule
 
 #: Default round kinds in which Pcons is enforced during good periods.
 DEFAULT_PCONS_KINDS = frozenset({RoundKind.SELECTION})
+
+
+def count_edges(matrix: DeliveryMatrix) -> int:
+    """Total ``(sender → receiver)`` deliveries in ``matrix`` — O(n)."""
+    return sum(map(len, matrix.values()))
 
 
 def faithful_delivery(outbound: OutboundMatrix) -> DeliveryMatrix:
@@ -115,13 +120,60 @@ def enforce_pgood(outbound: OutboundMatrix, ctx: RunContext) -> DeliveryMatrix:
 
 
 class DeliveryPolicy(abc.ABC):
-    """Strategy deciding the delivery matrix of each round."""
+    """Strategy deciding the delivery matrix of each round.
+
+    ``deliver`` is the single source of delivery logic; subclasses override
+    it freely (including via ``super().deliver()``).  Counting is a
+    separate, optional contract: a policy whose delivery is fully described
+    by its own ``deliver`` declares so by pointing ``_counted_deliver`` at
+    that function and implementing :meth:`_count_dropped`; the moment a
+    subclass replaces ``deliver``, the identity check in
+    :meth:`deliver_counted` fails closed and the scheduler rescans.
+    """
+
+    #: The ``deliver`` implementation :meth:`_count_dropped`'s contract
+    #: describes.  Counting policies set this right after their class body
+    #: (``MyPolicy._counted_deliver = MyPolicy.deliver``); it is compared
+    #: by identity against ``type(self).deliver`` so an override anywhere
+    #: in the MRO silently falls back to the scheduler's edge-exact rescan
+    #: instead of miscounting.
+    _counted_deliver: Optional[Callable] = None
 
     @abc.abstractmethod
     def deliver(
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
     ) -> DeliveryMatrix:
         """Compute what every process receives in round ``info``."""
+
+    def deliver_counted(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> Tuple[DeliveryMatrix, Optional[int]]:
+        """``(matrix, dropped)``: the delivery plus a withheld-edge count.
+
+        ``dropped`` is the number of sent edges absent from the matrix, or
+        ``None`` when it cannot be counted here — the lockstep scheduler
+        then falls back to an edge-exact O(edges) rescan of the outbound
+        matrix.  Policies whose matrix is an exact subset of the sent
+        edges (no injection — only an oracle enforcing ``Pcons`` ever
+        injects deliveries) count ``sent − delivered`` in O(n) instead,
+        via :meth:`_count_dropped`.
+        """
+        matrix = self.deliver(info, outbound, ctx)
+        # Class-level access on both sides: instance access would bind the
+        # stored function into a method object and never compare equal.
+        if type(self).deliver is not type(self)._counted_deliver:
+            return matrix, None
+        return matrix, self._count_dropped(info, outbound, matrix, ctx)
+
+    def _count_dropped(
+        self,
+        info: RoundInfo,
+        outbound: OutboundMatrix,
+        matrix: DeliveryMatrix,
+        ctx: RunContext,
+    ) -> Optional[int]:
+        """Withheld-edge count for this class's own ``deliver`` output."""
+        return None
 
 
 class ReliablePolicy(DeliveryPolicy):
@@ -139,8 +191,23 @@ class ReliablePolicy(DeliveryPolicy):
             return enforce_pcons(outbound, ctx)
         return enforce_pgood(outbound, ctx)
 
+    def _count_dropped(self, info, outbound, matrix, ctx) -> Optional[int]:
+        if info.kind in self._pcons_kinds:
+            # The Pcons oracle may withhold *and* inject; edge-exact
+            # accounting needs the scheduler's rescan.
+            return None
+        # Pgood rounds deliver faithfully: every sent edge arrives.
+        return 0
 
-#: Bad-period behaviour: (info, outbound, ctx) → delivery matrix.
+
+ReliablePolicy._counted_deliver = ReliablePolicy.deliver
+
+
+#: Bad-period behaviour: (info, outbound, ctx) → delivery matrix.  A
+#: behaviour whose matrix only ever omits sent edges (never injects new
+#: ones) may set ``exact_subset = True`` on itself; the wrapping policy then
+#: reports ``sent − delivered`` as the dropped count instead of making the
+#: scheduler rescan every edge.  Every behaviour in this module qualifies.
 BadBehavior = Callable[[RoundInfo, OutboundMatrix, RunContext], DeliveryMatrix]
 
 
@@ -157,6 +224,7 @@ def random_drop_behavior(rng: random.Random, drop_prob: float = 0.5) -> BadBehav
                     matrix.setdefault(dest, {})[sender] = payload
         return matrix
 
+    behave.exact_subset = True
     return behave
 
 
@@ -177,6 +245,7 @@ def partition_behavior(groups: Iterable[Iterable[ProcessId]]) -> BadBehavior:
                     matrix.setdefault(dest, {})[sender] = payload
         return matrix
 
+    behave.exact_subset = True
     return behave
 
 
@@ -190,6 +259,7 @@ def silent_behavior() -> BadBehavior:
         deliver_to_byzantine(matrix, outbound, ctx)
         return matrix
 
+    behave.exact_subset = True
     return behave
 
 
@@ -235,6 +305,18 @@ class GoodBadPolicy(DeliveryPolicy):
             return enforce_pgood(outbound, ctx)
         return self._bad(info, outbound, ctx)
 
+    def _count_dropped(self, info, outbound, matrix, ctx) -> Optional[int]:
+        if self._schedule.is_good(info.number):
+            # Pcons may inject (rescan); Pgood delivers faithfully.
+            return None if info.kind in self._pcons_kinds else 0
+        if getattr(self._bad, "exact_subset", False):
+            return count_edges(outbound) - count_edges(matrix)
+        # A custom behaviour may inject; leave counting to the scheduler.
+        return None
+
+
+GoodBadPolicy._counted_deliver = GoodBadPolicy.deliver
+
 
 class AsyncPrelPolicy(DeliveryPolicy):
     """Fully asynchronous delivery guaranteeing only ``Prel`` (Section 6).
@@ -272,6 +354,13 @@ class AsyncPrelPolicy(DeliveryPolicy):
                 matrix[receiver] = {s: inbox[s] for s in chosen}
         return matrix
 
+    def _count_dropped(self, info, outbound, matrix, ctx) -> Optional[int]:
+        # Each inbox is a subset of the faithful one: exact-subset delivery.
+        return count_edges(outbound) - count_edges(matrix)
+
+
+AsyncPrelPolicy._counted_deliver = AsyncPrelPolicy.deliver
+
 
 class LossyPolicy(DeliveryPolicy):
     """Unconstrained i.i.d. loss — no predicate holds; safety must survive."""
@@ -293,6 +382,12 @@ class LossyPolicy(DeliveryPolicy):
     ) -> DeliveryMatrix:
         return self._behavior(info, outbound, ctx)
 
+    def _count_dropped(self, info, outbound, matrix, ctx) -> Optional[int]:
+        return count_edges(outbound) - count_edges(matrix)
+
+
+LossyPolicy._counted_deliver = LossyPolicy.deliver
+
 
 class SilentPolicy(DeliveryPolicy):
     """Delivers nothing to honest processes (degenerate bad period)."""
@@ -301,3 +396,9 @@ class SilentPolicy(DeliveryPolicy):
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
     ) -> DeliveryMatrix:
         return silent_behavior()(info, outbound, ctx)
+
+    def _count_dropped(self, info, outbound, matrix, ctx) -> Optional[int]:
+        return count_edges(outbound) - count_edges(matrix)
+
+
+SilentPolicy._counted_deliver = SilentPolicy.deliver

@@ -27,6 +27,7 @@ maps it to an ``inapplicable`` row instead of an error.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
@@ -52,6 +53,7 @@ from repro.rounds.policies import (
 )
 from repro.rounds.schedule import GoodBadSchedule
 from repro.scenarios.spec import CommSpec, ScenarioSpec
+from repro.utils.memo import cached_outcome
 
 #: Engines a scenario may compile onto.
 ENGINES = ("lockstep", "timed")
@@ -83,12 +85,23 @@ def _coerce_rng(rng: RngLike) -> Tuple[int, random.Random]:
 # ----------------------------------------------------------- schedule memo
 
 
+#: Seed-independent compilation artifacts, memoized per worker process: one
+#: campaign typically re-compiles the same few dozen (spec, model, engine)
+#: cells thousands of times — every repetition and every derived-seed run
+#: shares the same schedule object, partition edge set, Byzantine placement
+#: and crash schedule (all immutable once built, so sharing is safe).
+_TEMPLATE_MEMO: Dict[Tuple[ScenarioSpec, FaultModel], Tuple[bool, object]] = {}
+
+
+@functools.cache
 def _memoized_schedule(comm: CommSpec) -> GoodBadSchedule:
     """The good/bad schedule of ``comm`` with per-round lookups memoized.
 
     Round structures repeat the same round numbers across thousands of
     campaign runs of one process; windows/alternating predicates otherwise
-    re-scan their window lists every round.
+    re-scan their window lists every round.  The schedule object itself is
+    cached per ``comm`` spec, so those per-round memo hits accumulate
+    across every run of a campaign cell instead of starting cold each run.
     """
     if comm.schedule == "after":
         base = GoodBadSchedule.good_after(comm.good_from)
@@ -122,6 +135,7 @@ def _partition_groups(
     return (tuple(range(half)), tuple(range(half, model.n)))
 
 
+@functools.cache
 def _partition_edges(
     groups: Tuple[Tuple[ProcessId, ...], ...]
 ) -> frozenset:
@@ -148,6 +162,9 @@ def _partition_behavior_fast(edges: frozenset):
                     matrix.setdefault(dest, {})[sender] = payload
         return matrix
 
+    # Only omits edges, never injects: the wrapping GoodBadPolicy may
+    # report drops as sent − delivered without the scheduler's rescan.
+    behave.exact_subset = True
     return behave
 
 
@@ -300,6 +317,27 @@ def _resolve_crashes(
     )
 
 
+def _scenario_template(
+    spec: ScenarioSpec, model: FaultModel
+) -> Tuple[Dict[ProcessId, str], Optional[CrashSchedule]]:
+    """The seed-independent half of compilation, memoized per process.
+
+    Byzantine placement and the crash schedule depend only on
+    ``(spec, model)``; campaign workers re-compile the same cell once per
+    derived seed, so both — including a :class:`ScenarioInapplicable`
+    verdict — are computed once and replayed.  The placement dict is
+    copied per call (callers receive it as mutable state); the crash
+    schedule is immutable after construction and shared.
+    """
+    byzantine, crash_schedule = cached_outcome(
+        _TEMPLATE_MEMO,
+        (spec, model),
+        lambda: (_resolve_byzantine(spec, model), _resolve_crashes(spec, model)),
+        cache_exceptions=(ScenarioInapplicable,),
+    )
+    return dict(byzantine), crash_schedule
+
+
 def compile_scenario(
     spec: ScenarioSpec,
     model: FaultModel,
@@ -321,8 +359,7 @@ def compile_scenario(
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     seed, policy_rng = _coerce_rng(rng)
-    byzantine = _resolve_byzantine(spec, model)
-    crash_schedule = _resolve_crashes(spec, model)
+    byzantine, crash_schedule = _scenario_template(spec, model)
     if engine == "lockstep":
         scheduler: RoundScheduler = LockstepScheduler(
             _lockstep_policy(spec.comm, model, policy_rng)

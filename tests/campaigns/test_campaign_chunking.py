@@ -1,0 +1,104 @@
+"""Chunked dispatch and worker-side memos of the campaign runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns.runner import (
+    MAX_CHUNK,
+    _auto_chunk,
+    _resolve_algorithm_memo,
+    execute_chunk,
+    iter_campaign,
+)
+from repro.campaigns.spec import CampaignSpec
+from repro.core.types import FaultModel
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="chunk-test",
+        algorithms=("one-third-rule",),
+        models=((4, 0, 1), (5, 0, 1)),
+        engines=("lockstep", "timed"),
+        repetitions=2,
+        max_phases=8,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def test_auto_chunk_scales_with_grid():
+    assert _auto_chunk(10, 4) == 1  # tiny grid: no batching
+    assert _auto_chunk(10_000, 4) == MAX_CHUNK  # huge grid: capped
+    assert 1 <= _auto_chunk(500, 4) <= MAX_CHUNK
+
+
+def test_chunk_validation():
+    spec = small_spec()
+    with pytest.raises(ValueError, match="chunk"):
+        list(iter_campaign(spec, workers=2, chunk=0))
+
+
+def test_execute_chunk_preserves_run_order():
+    spec = small_spec()
+    runs = spec.expand()[:4]
+    rows = execute_chunk(runs)
+    assert [row["run_id"] for row in rows] == [run.run_id for run in runs]
+
+
+@pytest.mark.parametrize("chunk", [1, 3, 100])
+def test_chunked_rows_match_inline(chunk):
+    spec = small_spec()
+    inline = sorted(
+        iter_campaign(spec, workers=1), key=lambda row: row["run_id"]
+    )
+    chunked = sorted(
+        iter_campaign(spec, workers=2, chunk=chunk),
+        key=lambda row: row["run_id"],
+    )
+    assert chunked == inline
+
+
+def test_small_window_shrinks_chunk_not_parallelism():
+    """A caller-fixed window smaller than the chunk still fills the pool:
+    chunks are clamped to the per-worker share of the window instead of one
+    oversized future monopolizing it."""
+    spec = small_spec()
+    rows = sorted(
+        iter_campaign(spec, workers=2, window=2, chunk=100),
+        key=lambda row: row["run_id"],
+    )
+    inline = sorted(
+        iter_campaign(spec, workers=1), key=lambda row: row["run_id"]
+    )
+    assert rows == inline
+
+
+def test_chunked_dispatch_respects_skip_and_progress():
+    spec = small_spec()
+    skip = {0, 3, 5}
+    seen = []
+    rows = list(
+        iter_campaign(
+            spec,
+            workers=2,
+            chunk=2,
+            skip_run_ids=skip,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+    )
+    assert {row["run_id"] for row in rows} == set(range(spec.total_runs)) - skip
+    # Progress counts skipped runs as already completed.
+    assert seen[0][0] == len(skip) + 1
+    assert seen[-1] == (spec.total_runs, spec.total_runs)
+
+
+def test_resolve_memo_shares_and_replays():
+    model = FaultModel(4, 1, 0)
+    first = _resolve_algorithm_memo("pbft", model)
+    assert _resolve_algorithm_memo("pbft", model) is first
+    with pytest.raises(KeyError):
+        _resolve_algorithm_memo("no-such-algorithm", model)
+    with pytest.raises(KeyError):  # the memoized rejection replays too
+        _resolve_algorithm_memo("no-such-algorithm", model)

@@ -1,0 +1,71 @@
+"""Campaign rows are byte-identical across every fast-path configuration.
+
+The PR-5 optimizations (heap-free timed delivery, batched latency sampling,
+policy-reported drops, chunked dispatch, worker-side memos) all promise the
+same thing: not one byte of any result row changes.  This suite pins that
+down end to end on the ``gauntlet`` campaign — every registered scenario ×
+every algorithm class × both engines — by diffing the canonical JSONL
+against a baseline produced with ``REPRO_SLOW_SCHEDULER=1`` (the legacy
+event-heap delivery), at workers ∈ {1, 4} and chunk ∈ {1, 8}.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import BUILTIN_CAMPAIGNS, run_campaign
+
+GAUNTLET = BUILTIN_CAMPAIGNS["gauntlet"]
+
+
+def canonical(rows):
+    """One deterministic string per row list (already run_id-sorted)."""
+    return [json.dumps(row, sort_keys=True) for row in rows]
+
+
+@pytest.fixture(scope="module")
+def slow_baseline():
+    """The gauntlet under the legacy heap scheduler, inline execution.
+
+    Environment mutation is module-scoped by hand (monkeypatch is
+    function-scoped): schedulers read REPRO_SLOW_SCHEDULER at construction,
+    which happens per run inside execute_run, so setting it around the
+    campaign is enough with workers=1.
+    """
+    import os
+
+    os.environ["REPRO_SLOW_SCHEDULER"] = "1"
+    try:
+        rows = run_campaign(GAUNTLET, workers=1)
+    finally:
+        del os.environ["REPRO_SLOW_SCHEDULER"]
+    return canonical(rows)
+
+
+def test_gauntlet_has_no_error_rows(slow_baseline):
+    for line in slow_baseline:
+        assert '"status": "error"' not in line
+
+
+def test_fast_path_identical_inline(slow_baseline):
+    assert canonical(run_campaign(GAUNTLET, workers=1)) == slow_baseline
+
+
+@pytest.mark.parametrize("workers,chunk", [(4, 1), (4, 8)])
+def test_fast_path_identical_parallel(slow_baseline, workers, chunk):
+    rows = run_campaign(GAUNTLET, workers=workers, chunk=chunk)
+    assert canonical(rows) == slow_baseline
+
+
+def test_slow_scheduler_survives_worker_processes(slow_baseline):
+    """Pool workers inherit the escape hatch: slow parallel == slow inline."""
+    import os
+
+    os.environ["REPRO_SLOW_SCHEDULER"] = "1"
+    try:
+        rows = run_campaign(GAUNTLET, workers=4, chunk=8)
+    finally:
+        del os.environ["REPRO_SLOW_SCHEDULER"]
+    assert canonical(rows) == slow_baseline

@@ -1,0 +1,208 @@
+"""Byte-identity of the heap-free timed delivery against the legacy heap.
+
+The fast path replaces the EventQueue push/pop cycle with a direct deadline
+comparison per message.  These tests prove the replacement changes nothing
+observable: delivery matrices, drop counts, round end times and — crucially
+— the network RNG stream are identical, message for message and draw for
+draw, under every regime (pre/post GST, fixed/uniform latency, Byzantine
+canonicalization, scenario delivery filters).  The campaign-level suite in
+``tests/campaigns/test_campaign_identity.py`` extends the same claim to
+whole result files.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.types import FaultModel, RoundInfo, RoundKind
+from repro.engine.scheduler import TimedScheduler
+from repro.eventsim.network import (
+    FixedLatency,
+    PartialSynchronyNetwork,
+    UniformLatency,
+)
+from repro.rounds.base import RunContext
+
+
+def make_network(latency, *, gst=0.0, seed=11):
+    return PartialSynchronyNetwork(
+        latency, gst=gst, delta=2.0, pre_gst_delay_prob=0.5, seed=seed
+    )
+
+
+def broadcast_outbound(model, payload_fn):
+    """Everyone sends to everyone; payloads vary per (sender, dest)."""
+    return {
+        sender: {dest: payload_fn(sender, dest) for dest in model.processes}
+        for sender in model.processes
+    }
+
+
+def run_both(make_scheduler, rounds, model, byzantine=frozenset()):
+    """Drive fast and heap schedulers through identical rounds, comparing."""
+    fast = make_scheduler(use_heap=False)
+    slow = make_scheduler(use_heap=True)
+    fast.reset()
+    slow.reset()
+    ctx_fast = RunContext(model, byzantine=byzantine)
+    ctx_slow = RunContext(model, byzantine=byzantine)
+    deliveries = []
+    for info, outbound in rounds:
+        a = fast.deliver_round(info, outbound, ctx_fast)
+        b = slow.deliver_round(info, outbound, ctx_slow)
+        assert a.matrix == b.matrix, f"matrix diverged in round {info.number}"
+        assert a.dropped == b.dropped, f"drops diverged in round {info.number}"
+        assert a.end_time == b.end_time
+        deliveries.append(a)
+    return deliveries
+
+
+@pytest.mark.parametrize("gst", [0.0, 7.0, 100.0])
+def test_uniform_latency_matches_heap_across_gst(gst):
+    """Pre-GST chaos, the GST boundary and post-GST clamping all agree."""
+    model = FaultModel(5, 0, 0)
+    seeds = {}
+
+    def make(use_heap):
+        network = make_network(UniformLatency(0.5, 2.0), gst=gst, seed=23)
+        seeds[use_heap] = network
+        return TimedScheduler(network, round_duration=2.5, use_heap=use_heap)
+
+    rounds = [
+        (
+            RoundInfo(r, (r - 1) // 3 + 1, RoundKind.DECISION),
+            broadcast_outbound(model, lambda s, d, r=r: ("msg", r, s, d)),
+        )
+        for r in range(1, 9)
+    ]
+    run_both(make, rounds, model)
+    # The RNG streams advanced identically: the next draw agrees too.
+    assert seeds[False].transit_time(99.0, 0, 1) == seeds[True].transit_time(
+        99.0, 0, 1
+    )
+
+
+def test_selection_round_canonicalizes_byzantine_payloads():
+    """Equivocating selection payloads pin to the first-addressed one."""
+    model = FaultModel(4, 1, 0)
+    byz = frozenset({3})
+
+    def make(use_heap):
+        return TimedScheduler(
+            make_network(UniformLatency(0.5, 1.5), gst=0.0, seed=7),
+            round_duration=2.5,
+            use_heap=use_heap,
+        )
+
+    info = RoundInfo(1, 1, RoundKind.SELECTION)
+    outbound = broadcast_outbound(model, lambda s, d: (s, d))
+    (delivery,) = run_both(make, [(info, outbound)], model, byzantine=byz)
+    # Every receiver saw the same canonical payload from the equivocator.
+    seen = {inbox[3] for inbox in delivery.matrix.values() if 3 in inbox}
+    assert len(seen) == 1
+
+
+def test_delivery_filter_matches_heap_and_skips_sampling():
+    """Filter-rejected edges drop identically and never draw a latency."""
+    model = FaultModel(4, 0, 0)
+
+    def flt(info, sender, dest, ctx):
+        return (sender + dest) % 2 == 0
+
+    def make(use_heap):
+        return TimedScheduler(
+            make_network(UniformLatency(0.5, 2.0), gst=0.0, seed=3),
+            round_duration=2.5,
+            delivery_filter=flt,
+            use_heap=use_heap,
+        )
+
+    rounds = [
+        (
+            RoundInfo(r, r, RoundKind.DECISION),
+            broadcast_outbound(model, lambda s, d: (s, d)),
+        )
+        for r in range(1, 5)
+    ]
+    deliveries = run_both(make, rounds, model)
+    for delivery in deliveries:
+        assert delivery.dropped >= 8  # half the 16 edges fail the filter
+
+
+def test_post_gst_fixed_latency_draws_nothing():
+    """The FixedLatency short-circuit leaves the RNG stream untouched."""
+    model = FaultModel(4, 0, 0)
+    network = make_network(FixedLatency(1.0), gst=0.0, seed=42)
+    scheduler = TimedScheduler(network, round_duration=2.5, use_heap=False)
+    scheduler.reset()
+    ctx = RunContext(model)
+    info = RoundInfo(1, 1, RoundKind.DECISION)
+    delivery = scheduler.deliver_round(
+        info, broadcast_outbound(model, lambda s, d: "x"), ctx
+    )
+    assert delivery.dropped == 0
+    assert all(len(inbox) == model.n for inbox in delivery.matrix.values())
+    # Zero draws: the stream equals a fresh one with the same seed.
+    assert network.transit_time(99.0, 0, 1) == make_network(
+        FixedLatency(1.0), gst=0.0, seed=42
+    ).transit_time(99.0, 0, 1)
+
+
+def test_pre_gst_fixed_latency_still_draws_the_chaos_coin():
+    """Before GST even fixed latency flips the delay coin per message."""
+    model = FaultModel(3, 0, 0)
+
+    def make(use_heap):
+        return TimedScheduler(
+            make_network(FixedLatency(1.0), gst=50.0, seed=9),
+            round_duration=2.5,
+            use_heap=use_heap,
+        )
+
+    rounds = [
+        (
+            RoundInfo(r, r, RoundKind.DECISION),
+            broadcast_outbound(model, lambda s, d: "y"),
+        )
+        for r in range(1, 4)
+    ]
+    deliveries = run_both(make, rounds, model)
+    # With p=0.5 and chaos x50 across 27 messages, some must miss.
+    assert sum(d.dropped for d in deliveries) > 0
+
+
+def test_slow_scheduler_env_switch(monkeypatch):
+    """REPRO_SLOW_SCHEDULER=1 selects the heap path at construction."""
+    network = make_network(UniformLatency(), seed=1)
+    monkeypatch.setenv("REPRO_SLOW_SCHEDULER", "1")
+    assert TimedScheduler(network)._queue is not None
+    monkeypatch.setenv("REPRO_SLOW_SCHEDULER", "0")
+    assert TimedScheduler(network)._queue is None
+    monkeypatch.delenv("REPRO_SLOW_SCHEDULER")
+    assert TimedScheduler(network)._queue is None
+    # The explicit argument wins over the environment.
+    monkeypatch.setenv("REPRO_SLOW_SCHEDULER", "1")
+    assert TimedScheduler(network, use_heap=False)._queue is None
+
+
+def test_sample_round_matches_per_message_stream():
+    """sample_round consumes the RNG exactly as transit_time per edge."""
+    edges = [(s, d) for s in range(6) for d in range(6)]
+    for gst, send_time in [(0.0, 0.0), (30.0, 2.5), (30.0, 30.0)]:
+        batched = make_network(UniformLatency(0.5, 2.0), gst=gst, seed=5)
+        serial = make_network(UniformLatency(0.5, 2.0), gst=gst, seed=5)
+        expected = [serial.transit_time(send_time, s, d) for s, d in edges]
+        assert batched.sample_round(send_time, edges) == expected
+
+
+def test_sample_many_accepts_payload_triples():
+    """Extra tuple items are ignored, so schedulers pass records directly."""
+    rng_a, rng_b = random.Random(4), random.Random(4)
+    model = UniformLatency(0.5, 2.0)
+    triples = [(0, 1, "payload"), (1, 0, "other")]
+    assert model.sample_many(rng_a, triples) == [
+        model.sample(rng_b, 0, 1),
+        model.sample(rng_b, 1, 0),
+    ]

@@ -159,6 +159,60 @@ class TestSeedThreading:
         assert samples == expected
 
 
+class TestAllDecided:
+    """Regression: all_decided once meant *any* process decided."""
+
+    def test_partial_decision_is_not_all_decided(self):
+        from repro.eventsim.runtime import TimedOutcome
+        from repro.rounds.base import RunContext
+
+        spec = build_pbft(4)
+        context = RunContext(spec.parameters.model, byzantine=frozenset({3}))
+        outcome = TimedOutcome(
+            parameters=spec.parameters,
+            decision_times={0: 7.5},  # one decider out of correct {0, 1, 2}
+            decided_values={0: "a"},
+            rounds_executed=3,
+            simulated_time=7.5,
+            messages_sent=10,
+            messages_delivered=9,
+            context=context,
+        )
+        assert not outcome.all_decided
+        outcome.decision_times.update({1: 7.5, 2: 7.5})
+        assert outcome.all_decided
+
+    def test_byzantine_and_crashed_processes_are_not_required(self):
+        from repro.core.types import FaultModel
+        from repro.eventsim.runtime import TimedOutcome
+        from repro.rounds.base import RunContext
+
+        spec = build_pbft(4)
+        context = RunContext(FaultModel(4, 1, 1), byzantine=frozenset({3}))
+        outcome = TimedOutcome(
+            parameters=spec.parameters,
+            decision_times={0: 5.0, 1: 5.0, 2: 5.0},
+            decided_values={0: "a", 1: "a", 2: "a"},
+            rounds_executed=2,
+            simulated_time=5.0,
+            messages_sent=8,
+            messages_delivered=8,
+            context=context,
+        )
+        assert outcome.all_decided  # Byzantine 3 never needs to decide
+        context.mark_crashed(0)
+        del outcome.decision_times[0]
+        assert outcome.all_decided  # crashed 0 no longer required
+
+    def test_full_run_still_reports_all_decided(self):
+        spec = build_pbft(4)
+        outcome = run_timed_consensus(
+            spec.parameters, {pid: "v" for pid in range(4)}, synchronous_net()
+        )
+        assert outcome.all_decided
+        assert set(outcome.decision_times) == {0, 1, 2, 3}
+
+
 def test_dropped_messages_are_counted():
     """Pre-GST chaos pushes messages past their deadline: all accounted."""
     spec = build_pbft(4)

@@ -212,3 +212,57 @@ class TestRngThreading:
         assert self.matrix_sizes(AsyncPrelPolicy()) == self.matrix_sizes(
             AsyncPrelPolicy()
         )
+
+
+class TestDeliverCounted:
+    """The counting contract: exact counts for declared delivery, fail-closed
+    rescan for subclass overrides (which may do anything)."""
+
+    def test_reliable_pgood_counts_zero(self):
+        matrix, dropped = ReliablePolicy().deliver_counted(
+            DEC, all_to_all(4, lambda s: f"m{s}"), ctx_for()
+        )
+        assert dropped == 0
+        assert sum(map(len, matrix.values())) == 16
+
+    def test_reliable_pcons_defers_to_rescan(self):
+        _, dropped = ReliablePolicy().deliver_counted(
+            SEL, all_to_all(4, lambda s: f"m{s}"), ctx_for()
+        )
+        assert dropped is None
+
+    def test_exact_subset_policies_count_sent_minus_delivered(self):
+        outbound = all_to_all(4, lambda s: f"m{s}")
+        for policy in (
+            LossyPolicy(random.Random(1), drop_prob=0.5),
+            SilentPolicy(),
+            AsyncPrelPolicy(random.Random(2)),
+            GoodBadPolicy(GoodBadSchedule.never_good(), rng=random.Random(3)),
+        ):
+            matrix, dropped = policy.deliver_counted(DEC, outbound, ctx_for())
+            assert dropped == 16 - sum(map(len, matrix.values()))
+            assert dropped >= 0
+
+    def test_subclass_override_is_honoured_and_rescanned(self):
+        class Withholding(ReliablePolicy):
+            def deliver(self, info, outbound, ctx):
+                matrix = super().deliver(info, outbound, ctx)  # must not recurse
+                matrix.pop(0, None)  # withhold process 0's whole inbox
+                return matrix
+
+        outbound = all_to_all(4, lambda s: f"m{s}")
+        matrix, dropped = Withholding().deliver_counted(DEC, outbound, ctx_for())
+        assert 0 not in matrix
+        # The override voids the counting contract: fall back to the rescan.
+        assert dropped is None
+
+    def test_subclass_can_redeclare_the_counting_contract(self):
+        class Faithful(ReliablePolicy):
+            def deliver(self, info, outbound, ctx):
+                return super().deliver(info, outbound, ctx)
+
+        Faithful._counted_deliver = Faithful.deliver
+        _, dropped = Faithful().deliver_counted(
+            DEC, all_to_all(4, lambda s: f"m{s}"), ctx_for()
+        )
+        assert dropped == 0
