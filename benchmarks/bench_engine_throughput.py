@@ -27,6 +27,11 @@ job calls this on the acceptance cell.  ``--baseline`` without ``--check``
 just embeds the before/after comparison in the report (how the committed
 file records each optimization pass).  Emits ``BENCH_engine.json``
 (override with ``--out``).
+
+When the acceptance cell is measured, the report additionally carries a
+``"profile"`` section (the ``profile-otr-n30`` arm): the cell's
+phase-level span breakdown under ``observe="profile"`` on both engines.
+It is informational and never consulted by the ``--check`` gate.
 """
 
 from __future__ import annotations
@@ -67,6 +72,7 @@ def make_runner(
     engine: str,
     observe: str,
     scenario: Optional[str] = None,
+    telemetry=None,
 ) -> Callable[[], None]:
     """One closure executing the cell once (assembly included, as sweeps do)."""
     spec = builder(n)
@@ -90,6 +96,7 @@ def make_runner(
                 max_phases=compiled.max_phases(),
                 observe=observe,
                 crash_schedule=compiled.crash_schedule,
+                telemetry=telemetry,
             )
             assert outcome.agreement_holds
 
@@ -114,11 +121,51 @@ def make_runner(
                 round_duration=2.5,
             )
         outcome = run_instance(
-            instance, scheduler, max_phases=12, observe=observe
+            instance, scheduler, max_phases=12, observe=observe,
+            telemetry=telemetry,
         )
         assert outcome.agreement_holds
 
     return run
+
+
+def profile_breakdown(runs: int = 5) -> Dict:
+    """The ``profile-otr-n30`` arm: phase spans of the acceptance cell.
+
+    Runs the acceptance cell under ``observe="profile"`` on both engines,
+    folding every run's spans into one shared telemetry registry, and
+    returns the per-phase call counts and total/self milliseconds.  The
+    section is informational — it lands in the report under ``"profile"``,
+    *outside* the ``cells`` list the ``--check`` gate consumes, so the
+    committed baseline never gates on phase timings.
+    """
+    name, builder, n, byz, scenario = CELLS[0]
+    assert name == ACCEPTANCE_CELL
+    from repro.observability import Telemetry
+
+    section: Dict[str, object] = {
+        "arm": f"profile-{name.removeprefix('table1-')}",
+        "cell": name,
+        "runs_per_engine": runs,
+        "engines": {},
+    }
+    for engine in ("lockstep", "timed"):
+        telemetry = Telemetry()
+        run = make_runner(
+            builder, n, byz, engine, "profile", scenario, telemetry=telemetry
+        )
+        for _ in range(runs):
+            run()
+        breakdown = {}
+        for span in telemetry.span_names:
+            stats = telemetry.span_stats(span)
+            breakdown[span] = {
+                "calls": stats["calls"],
+                "total_ms": round(stats["total_s"] * 1000, 3),
+                "self_ms": round(stats["self_s"] * 1000, 3),
+            }
+        section["engines"][engine] = breakdown
+    return section
 
 
 def measure(run: Callable[[], None], *, budget: Optional[int], seconds: float) -> Dict:
@@ -298,6 +345,8 @@ def main(argv=None) -> int:
         "speedups": speedups,
         "acceptance": acceptance,
     }
+    if ACCEPTANCE_CELL in selected:
+        report["profile"] = profile_breakdown(runs=args.budget or 5)
 
     regressions: List[str] = []
     if baseline is not None:

@@ -43,6 +43,7 @@ from repro.campaigns.aggregate import (
     CellSummary,
     SummaryFold,
     format_report,
+    format_slowest_cells,
     percentile,
     summarize,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "execute_run",
     "finalize_checkpoint",
     "format_report",
+    "format_slowest_cells",
     "iter_campaign",
     "iter_rows",
     "load_spec",

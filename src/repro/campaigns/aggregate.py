@@ -62,6 +62,13 @@ class CellSummary:
     mean_latency: Optional[float]
     p50_latency: Optional[float]
     p99_latency: Optional[float]
+    #: Wall-clock duration of the cell's runs (from the volatile
+    #: ``_elapsed_ms`` row field — present when the campaign ran with
+    #: timings, or when an events sidecar was joined back in; ``None``
+    #: otherwise).  Counts every status: an error row's wall time is real.
+    mean_wall_ms: Optional[float] = None
+    max_wall_ms: Optional[float] = None
+    total_wall_ms: float = 0.0
 
     @property
     def safety_violations(self) -> int:
@@ -81,7 +88,7 @@ class _CellAccumulator:
         "agreement_violations", "validity_violations",
         "unanimity_violations", "termination_failures",
         "phase_sum", "phase_count", "message_sum", "message_count",
-        "latencies",
+        "latencies", "wall_sum", "wall_count", "wall_max",
     )
 
     def __init__(self, key: Tuple[object, ...]) -> None:
@@ -102,9 +109,19 @@ class _CellAccumulator:
         # Compact float buffer: exact percentiles need the samples, but one
         # double per timed ok row is all that survives of each row.
         self.latencies = array("d")
+        self.wall_sum = 0.0
+        self.wall_count = 0
+        self.wall_max = 0.0
 
     def add(self, row: Row) -> None:
         self.runs += 1
+        wall = row.get("_elapsed_ms")
+        if wall is not None:
+            wall = float(wall)
+            self.wall_sum += wall
+            self.wall_count += 1
+            if wall > self.wall_max:
+                self.wall_max = wall
         status = row.get("status")
         if status == "error":
             self.errors += 1
@@ -160,6 +177,11 @@ class _CellAccumulator:
             ),
             p50_latency=percentile(latencies, 0.50),
             p99_latency=percentile(latencies, 0.99),
+            mean_wall_ms=(
+                self.wall_sum / self.wall_count if self.wall_count else None
+            ),
+            max_wall_ms=self.wall_max if self.wall_count else None,
+            total_wall_ms=self.wall_sum,
         )
 
 
@@ -215,29 +237,68 @@ def format_report(
     (scenario the configuration cannot host) are distinct columns: the
     first marks a resilience frontier, the second a grid axis that does
     not apply — folding them together hid frontier crossings.
+
+    When any cell carries wall-duration data (a live ``campaign run``, or
+    ``campaign report --events``), ``wall-ms`` (per-run mean) and
+    ``wall-max`` columns appear; without durations the table keeps its
+    historical shape.
     """
+    timed = any(summary.mean_wall_ms is not None for summary in summaries)
     headers = [
         *group_keys,
         "runs", "ok", "err", "inadm", "inappl", "safety-viol", "term-fail",
         "phases", "msgs", "ttd-mean", "ttd-p50", "ttd-p99",
     ]
+    if timed:
+        headers += ["wall-ms", "wall-max"]
     table = []
     for summary in summaries:
-        table.append(
-            [
-                *summary.key,
-                summary.runs,
-                summary.ok,
-                summary.errors,
-                summary.inadmissible,
-                summary.inapplicable,
-                format_rate(summary.safety_violations, summary.ok),
-                format_rate(summary.termination_failures, summary.ok),
-                format_float(summary.mean_phases),
-                format_float(summary.mean_messages, 1),
-                format_float(summary.mean_latency),
-                format_float(summary.p50_latency),
-                format_float(summary.p99_latency),
+        row = [
+            *summary.key,
+            summary.runs,
+            summary.ok,
+            summary.errors,
+            summary.inadmissible,
+            summary.inapplicable,
+            format_rate(summary.safety_violations, summary.ok),
+            format_rate(summary.termination_failures, summary.ok),
+            format_float(summary.mean_phases),
+            format_float(summary.mean_messages, 1),
+            format_float(summary.mean_latency),
+            format_float(summary.p50_latency),
+            format_float(summary.p99_latency),
+        ]
+        if timed:
+            row += [
+                format_float(summary.mean_wall_ms),
+                format_float(summary.max_wall_ms),
             ]
-        )
+        table.append(row)
     return format_table(headers, table)
+
+
+def format_slowest_cells(
+    summaries: Sequence[CellSummary],
+    group_keys: Sequence[str] = DEFAULT_GROUP_KEYS,
+    top: int = 5,
+) -> str:
+    """Rank cells by total wall time — where a sweep actually spends it.
+
+    Returns ``""`` when no cell carries duration data, so callers can
+    append it unconditionally.
+    """
+    timed = [s for s in summaries if s.mean_wall_ms is not None]
+    if not timed:
+        return ""
+    timed.sort(key=lambda s: -s.total_wall_ms)
+    lines = [f"slowest cells (by total wall time, top {min(top, len(timed))}):"]
+    for summary in timed[:top]:
+        cell = " ".join(
+            f"{key}={value}" for key, value in zip(group_keys, summary.key)
+        )
+        lines.append(
+            f"  {summary.total_wall_ms:10.1f} ms total  "
+            f"{summary.mean_wall_ms:8.2f} ms/run  "
+            f"max {summary.max_wall_ms:8.2f} ms  {cell}"
+        )
+    return "\n".join(lines)

@@ -33,7 +33,15 @@ Row = Dict[str, object]
 
 
 def row_to_json(row: Row) -> str:
-    """Canonical single-line JSON for one row."""
+    """Canonical single-line JSON for one row.
+
+    Keys starting with ``"_"`` are *volatile* — per-row wall durations and
+    worker pids recorded for the events sidecar and progress display — and
+    are stripped here, so canonical result files stay byte-identical
+    across worker counts, chunk sizes and instrumentation settings.
+    """
+    if any(key.startswith("_") for key in row):
+        row = {key: value for key, value in row.items() if not key.startswith("_")}
     return json.dumps(row, sort_keys=True, separators=(",", ":"))
 
 

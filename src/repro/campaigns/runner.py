@@ -37,7 +37,10 @@ both schedulers.
 
 from __future__ import annotations
 
+import os
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from time import perf_counter
 from typing import (
     AbstractSet,
     Callable,
@@ -63,6 +66,11 @@ Row = Dict[str, object]
 
 #: Called after each completed run with ``(completed, total)``.
 ProgressFn = Callable[[int, int], None]
+
+#: Called with ``(kind, fields)`` for runner lifecycle events
+#: (``chunk_dispatched`` today); the CLI forwards these to its
+#: :class:`~repro.observability.events.EventLog` sidecar.
+EventFn = Callable[[str, Dict[str, object]], None]
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
@@ -99,8 +107,34 @@ def _base_row(run: RunSpec) -> Row:
     }
 
 
+#: Bounds on the traceback tail embedded in error rows: enough context to
+#: diagnose a failure from the JSONL alone, small enough that a
+#: pathological cell cannot bloat the result file.
+TRACEBACK_TAIL_LINES = 12
+TRACEBACK_TAIL_CHARS = 2000
+
+
 def _describe_error(exc: BaseException) -> str:
-    return f"{type(exc).__name__}: {exc}"
+    """``TypeName: message`` plus a bounded traceback tail.
+
+    The traceback starts at :func:`execute_run`'s own ``try`` frame — the
+    dispatch stack above it (inline generator vs. pooled ``execute_chunk``)
+    never enters ``exc.__traceback__`` — so the text is identical at any
+    worker count and chunk size, keeping error rows byte-stable.
+    """
+    head = f"{type(exc).__name__}: {exc}"
+    tb = exc.__traceback__
+    if tb is None:
+        return head
+    lines = "".join(
+        traceback.format_exception(type(exc), exc, tb)
+    ).rstrip("\n").split("\n")
+    if len(lines) > TRACEBACK_TAIL_LINES:
+        lines = ["  ..."] + lines[-TRACEBACK_TAIL_LINES:]
+    tail = "\n".join(lines)
+    if len(tail) > TRACEBACK_TAIL_CHARS:
+        tail = "..." + tail[-TRACEBACK_TAIL_CHARS:]
+    return f"{head}\n{tail}"
 
 
 #: Worker-side memo for :func:`resolve_algorithm`: a 10k-run grid usually
@@ -125,8 +159,22 @@ def _resolve_algorithm_memo(
     )
 
 
-def execute_run(run: RunSpec) -> Row:
-    """Execute one grid cell, returning its result row (never raises)."""
+def execute_run(run: RunSpec, *, timings: bool = False) -> Row:
+    """Execute one grid cell, returning its result row (never raises).
+
+    With ``timings=True`` the row additionally carries volatile
+    ``_elapsed_ms`` / ``_pid`` fields (wall duration and worker process
+    id).  Volatile fields — every key starting with ``"_"`` — are stripped
+    by the canonical JSONL serialization, so recording them never perturbs
+    result-file bytes; they feed the events sidecar, the live progress
+    line and the report's timing columns instead.
+    """
+    if timings:
+        started = perf_counter()
+        row = execute_run(run)
+        row["_elapsed_ms"] = round((perf_counter() - started) * 1000, 3)
+        row["_pid"] = os.getpid()
+        return row
     row = _base_row(run)
     try:
         model = FaultModel(run.n, run.b, run.f)
@@ -140,7 +188,10 @@ def execute_run(run: RunSpec) -> Row:
         row.update(status=STATUS_INADMISSIBLE, error=str(exc))
         return row
     except Exception as exc:
-        row.update(status=STATUS_ERROR, error=_describe_error(exc))
+        # Head only, no traceback tail: the memo replays a cached rejection
+        # with its traceback reset, so tail text would depend on which
+        # worker happened to resolve the cell first.
+        row.update(status=STATUS_ERROR, error=f"{type(exc).__name__}: {exc}")
         return row
 
     # Builders resolve their own envelope (benign ones ignore ``b``,
@@ -216,14 +267,14 @@ WINDOW_PER_WORKER = 4
 MAX_CHUNK = 32
 
 
-def execute_chunk(runs: Sequence[RunSpec]) -> List[Row]:
+def execute_chunk(runs: Sequence[RunSpec], timings: bool = False) -> List[Row]:
     """Execute a batch of runs in one worker task (one dispatch round-trip).
 
     Chunking amortizes the per-future submit/pickle/wakeup overhead of the
     process pool, and lets the worker-side memos (:func:`resolve_algorithm`,
     scenario compilation templates) stay warm across consecutive runs.
     """
-    return [execute_run(run) for run in runs]
+    return [execute_run(run, timings=timings) for run in runs]
 
 
 def _auto_chunk(remaining: int, workers: int) -> int:
@@ -244,6 +295,8 @@ def iter_campaign(
     skip_run_ids: Optional[AbstractSet[int]] = None,
     window: Optional[int] = None,
     chunk: Optional[int] = None,
+    timings: bool = False,
+    on_event: Optional[EventFn] = None,
 ) -> Iterator[Row]:
     """Stream result rows as runs complete (completion order, not run_id).
 
@@ -261,6 +314,12 @@ def iter_campaign(
     byte-identical at any ``(workers, chunk)``.  Abandoning the iterator
     mid-stream shuts the pool down (queued runs are cancelled, in-flight
     runs finish and are discarded).
+
+    ``timings=True`` adds the volatile ``_elapsed_ms`` / ``_pid`` fields to
+    each row (see :func:`execute_run`); ``on_event(kind, fields)`` receives
+    runner lifecycle events (a ``chunk_dispatched`` per submitted worker
+    task) for the CLI's events sidecar.  Both default off, so library
+    callers see exactly the historical row stream.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
@@ -282,7 +341,7 @@ def iter_campaign(
 
     if workers == 1:
         for run in runs:
-            yield advance(execute_run(run))
+            yield advance(execute_run(run, timings=timings))
         return
 
     if chunk is None:
@@ -302,9 +361,11 @@ def iter_campaign(
 
         def submit() -> None:
             nonlocal inflight
-            future = pool.submit(execute_chunk, tuple(batch))
+            future = pool.submit(execute_chunk, tuple(batch), timings)
             pending[future] = len(batch)
             inflight += len(batch)
+            if on_event is not None:
+                on_event("chunk_dispatched", {"runs": len(batch)})
             batch.clear()
 
         def drain() -> Iterator[Row]:

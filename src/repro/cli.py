@@ -11,11 +11,14 @@ Usage examples::
     python -m repro.cli scenario list
     python -m repro.cli scenario run partition_heal --algorithm pbft --n 4
     python -m repro.cli scenario run worst_case --algorithm class-3 --n 7 --engine timed
+    python -m repro.cli profile worst_case --algorithm pbft --n 4 --b 1
     python -m repro.cli campaign list
     python -m repro.cli campaign run grid-demo --workers 4
     python -m repro.cli campaign run myspec.json --out results.jsonl
     python -m repro.cli campaign run myspec.json --out results.jsonl --resume
+    python -m repro.cli campaign run grid-demo --events events.jsonl --progress
     python -m repro.cli campaign report results.jsonl
+    python -m repro.cli campaign report results.jsonl --events events.jsonl
 """
 
 from __future__ import annotations
@@ -238,6 +241,68 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return handlers[args.scenario_command](args)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.campaigns.spec import resolve_algorithm
+    from repro.observability import Telemetry, format_phase_table
+    from repro.scenarios import ScenarioInapplicable, get_scenario, run_scenario
+
+    telemetry = Telemetry()
+    wall_start = perf_counter()
+    # Setup and analysis get spans of their own so the phase table accounts
+    # for (nearly) the whole command wall, not just the engine's share.
+    with telemetry.span("setup.resolve"):
+        try:
+            spec = get_scenario(args.scenario)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        try:
+            model = FaultModel(args.n, args.b, args.f)
+            parameters, config = resolve_algorithm(args.algorithm, model)
+        except (KeyError, ValueError) as exc:
+            print(f"cannot build {args.algorithm}: {exc}", file=sys.stderr)
+            return 2
+    outcome = None
+    for repeat in range(args.repeat):
+        # engine.run wraps scenario compilation + instance build + the
+        # kernel loop; the kernel's own spans nest inside it, so its self
+        # time is exactly the non-kernel glue.
+        with telemetry.span("engine.run"):
+            try:
+                outcome = run_scenario(
+                    spec,
+                    parameters,
+                    engine=args.engine,
+                    rng=args.seed + repeat,
+                    config=config,
+                    observe="profile",
+                    max_phases=args.max_phases,
+                    telemetry=telemetry,
+                )
+            except ScenarioInapplicable as exc:
+                print(f"scenario inapplicable: {exc}", file=sys.stderr)
+                return 2
+    with telemetry.span("analysis.invariants"):
+        report = outcome.invariant_report()
+    wall = perf_counter() - wall_start
+    print(
+        f"profile: {spec.name} on {args.algorithm} n={args.n} b={args.b} "
+        f"f={args.f} ({args.engine}, seed {args.seed}, "
+        f"{args.repeat} run(s))"
+    )
+    print(
+        f"  agreement {report.get('agreement')}  "
+        f"termination {report.get('termination')}  "
+        f"rounds {outcome.rounds_executed}  "
+        f"messages {outcome.messages_sent}"
+    )
+    print()
+    print(format_phase_table(telemetry, wall_seconds=wall))
+    return 0
+
+
 def _load_campaign(source: str):
     """A campaign spec from a file path or a built-in name."""
     from repro.campaigns import BUILTIN_CAMPAIGNS, load_spec
@@ -272,11 +337,16 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
 EXIT_INTERRUPTED = 3
 
 
+#: A ``worker_heartbeat`` event is emitted every this many rows per worker.
+HEARTBEAT_EVERY = 20
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     import os
     from dataclasses import replace as dc_replace
+    from time import perf_counter
 
-    from repro.campaigns import format_report, iter_campaign
+    from repro.campaigns import format_report, format_slowest_cells, iter_campaign
     from repro.campaigns.aggregate import SummaryFold
     from repro.campaigns.results import (
         ResultStore,
@@ -285,6 +355,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         iter_rows,
         validate_resume,
     )
+    from repro.observability import EventLog, ProgressLine
 
     spec = _load_campaign(args.spec)
     if spec is None:
@@ -331,8 +402,24 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     total = spec.total_runs
     step = max(1, total // 10)
 
+    if args.events and not args.resume:
+        # A fresh campaign starts a fresh flight recorder; only --resume
+        # appends to the existing event history.
+        Path(args.events).unlink(missing_ok=True)
+    events = EventLog(args.events) if args.events else None
+    progress_line = (
+        ProgressLine(spec.name, total, stream=sys.stderr)
+        if args.progress
+        else None
+    )
+    live = {"errors": 0, "inadmissible": 0}
+
     def progress(completed: int, _total: int) -> None:
-        if not args.quiet and (completed % step == 0 or completed == _total):
+        if progress_line is not None:
+            progress_line.render(
+                completed, live["errors"], live["inadmissible"]
+            )
+        elif not args.quiet and (completed % step == 0 or completed == _total):
             print(f"  {completed}/{_total} runs", file=sys.stderr)
 
     print(
@@ -363,45 +450,126 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
     executed = 0
     interrupted = False
+    started_at = perf_counter()
+    worker_rows: dict = {}
     store = ResultStore(checkpoint)
+
+    def on_event(kind: str, fields: dict) -> None:
+        events.emit(kind, **fields)
+
+    if events is not None:
+        events.emit(
+            "campaign_started",
+            campaign=spec.name,
+            total_runs=total,
+            workers=args.workers,
+            chunk=args.chunk,
+            seed=spec.seed,
+            skipped=len(skip),
+            resume=bool(args.resume),
+        )
+        if skip:
+            events.emit("resume_skipped", rows=len(skip))
     try:
-        with store.open_append() as sink:
-            for row in iter_campaign(
-                spec,
-                workers=args.workers,
-                progress=progress,
-                skip_run_ids=skip,
-                chunk=args.chunk,
-            ):
-                sink.append(row)
-                if not skip:
-                    absorb(row)
-                executed += 1
-                if args.stop_after is not None and executed >= args.stop_after:
-                    interrupted = True
-                    break
-    except KeyboardInterrupt:
-        print(
-            f"interrupted after {executed} run(s); checkpoint retained at "
-            f"{checkpoint} — rerun with --resume to complete",
-            file=sys.stderr,
-        )
-        return 130
-    if interrupted:
-        print(
-            f"stopped after {executed} run(s); checkpoint retained at "
-            f"{checkpoint} — rerun with --resume to complete",
-            file=sys.stderr,
-        )
-        return EXIT_INTERRUPTED
+        try:
+            with store.open_append() as sink:
+                for row in iter_campaign(
+                    spec,
+                    workers=args.workers,
+                    progress=progress,
+                    skip_run_ids=skip,
+                    chunk=args.chunk,
+                    timings=True,
+                    on_event=on_event if events is not None else None,
+                ):
+                    sink.append(row)
+                    status = row.get("status")
+                    if status == "error":
+                        live["errors"] += 1
+                    elif status == "inadmissible":
+                        live["inadmissible"] += 1
+                    if not skip:
+                        absorb(row)
+                    executed += 1
+                    if events is not None:
+                        events.emit(
+                            "row_completed",
+                            run_id=row.get("run_id"),
+                            status=status,
+                            duration_ms=row.get("_elapsed_ms"),
+                            pid=row.get("_pid"),
+                        )
+                        pid = row.get("_pid")
+                        if isinstance(pid, int):
+                            rows = worker_rows[pid] = worker_rows.get(pid, 0) + 1
+                            if rows % HEARTBEAT_EVERY == 0:
+                                elapsed = perf_counter() - started_at
+                                events.emit(
+                                    "worker_heartbeat",
+                                    pid=pid,
+                                    rows=rows,
+                                    rows_per_s=(
+                                        round(rows / elapsed, 3)
+                                        if elapsed > 0
+                                        else None
+                                    ),
+                                )
+                        if executed % step == 0 or executed == total - len(skip):
+                            events.emit("checkpoint_flushed", rows=executed)
+                    if (
+                        args.stop_after is not None
+                        and executed >= args.stop_after
+                    ):
+                        interrupted = True
+                        break
+        except KeyboardInterrupt:
+            interrupted = True
+            print(
+                f"\ninterrupted after {executed} run(s); checkpoint retained "
+                f"at {checkpoint} — rerun with --resume to complete",
+                file=sys.stderr,
+            )
+            return 130
+        if interrupted:
+            print(
+                f"stopped after {executed} run(s); checkpoint retained at "
+                f"{checkpoint} — rerun with --resume to complete",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+    finally:
+        if progress_line is not None and not interrupted:
+            progress_line.finish(
+                len(skip) + executed, live["errors"], live["inadmissible"]
+            )
+        if events is not None:
+            events.emit(
+                "campaign_finished",
+                rows=executed,
+                errors=live["errors"],
+                elapsed_s=round(perf_counter() - started_at, 6),
+                interrupted=interrupted,
+            )
+            events.close()
 
     finalize_checkpoint(checkpoint, out)
     print(f"wrote {total} rows to {out}", file=sys.stderr)
+    if args.resume:
+        # Always reported, so a fully-recorded checkpoint resumes loudly
+        # ("N rows skipped, 0 executed") instead of exiting near-silently.
+        print(
+            f"resumed: {len(skip)} rows skipped, {executed} executed",
+            file=sys.stderr,
+        )
     if skip:
         for row in iter_rows(out):
             absorb(row)
     if fold is not None:
-        print(format_report(fold.summaries()))
+        summaries = fold.summaries()
+        print(format_report(summaries))
+        ranking = format_slowest_cells(summaries)
+        if ranking:
+            print(ranking)
     if errors or violations:
         print(
             f"{errors} error row(s), {violations} safety violation(s)",
@@ -412,7 +580,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
-    from repro.campaigns import DEFAULT_GROUP_KEYS, format_report
+    from repro.campaigns import (
+        DEFAULT_GROUP_KEYS,
+        format_report,
+        format_slowest_cells,
+    )
     from repro.campaigns.aggregate import SummaryFold
     from repro.campaigns.results import iter_rows
 
@@ -421,6 +593,18 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         if args.group_by
         else DEFAULT_GROUP_KEYS
     )
+    # Wall durations never enter the canonical JSONL (they are volatile
+    # and nondeterministic); --events joins them back from the sidecar's
+    # row_completed events so the report can grow its timing columns.
+    durations: dict = {}
+    if args.events:
+        from repro.observability import load_row_durations
+
+        try:
+            durations = load_row_durations(args.events)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read events {args.events}: {exc}", file=sys.stderr)
+            return 2
     # One streaming pass: every row folds into its cell immediately, so
     # report memory scales with cells, not grid rows.  A group-by key is
     # valid if *any* row carries it; the field union is only accumulated
@@ -435,6 +619,10 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             if missing:
                 fields |= row.keys()
                 missing -= row.keys()
+            if durations:
+                duration = durations.get(row.get("run_id"))
+                if duration is not None:
+                    row["_elapsed_ms"] = duration
             fold.add(row)
     except (OSError, ValueError) as exc:
         print(f"cannot read {args.results}: {exc}", file=sys.stderr)
@@ -447,7 +635,11 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    print(format_report(fold.summaries(), keys))
+    summaries = fold.summaries()
+    print(format_report(summaries, keys))
+    ranking = format_slowest_cells(summaries, keys)
+    if ranking:
+        print(ranking)
     return 0
 
 
@@ -510,18 +702,41 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--seed", type=int, default=0)
     srun.add_argument("--max-phases", type=int, default=None)
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be ≥ 1, got {value}")
+        return value
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one scenario under phase-level profiling and print the "
+        "span breakdown",
+    )
+    profile.add_argument("scenario", help="a registered scenario name")
+    profile.add_argument("--algorithm", required=True,
+                         help="builder name or class-N")
+    profile.add_argument("--n", type=int, required=True)
+    profile.add_argument("--b", type=int, default=0)
+    profile.add_argument("--f", type=int, default=0)
+    profile.add_argument("--engine", choices=["lockstep", "timed"],
+                         default="lockstep")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--repeat",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help="aggregate spans over N runs (seeds seed..seed+N-1)",
+    )
+    profile.add_argument("--max-phases", type=int, default=None)
+
     campaign = sub.add_parser(
         "campaign", help="declarative scenario sweeps (run/report/list)"
     )
     csub = campaign.add_subparsers(dest="campaign_command", required=True)
 
     csub.add_parser("list", help="list built-in campaigns")
-
-    def positive_int(text: str) -> int:
-        value = int(text)
-        if value < 1:
-            raise argparse.ArgumentTypeError(f"must be ≥ 1, got {value}")
-        return value
 
     crun = csub.add_parser("run", help="expand and execute a campaign grid")
     crun.add_argument("spec", help="spec file (.json/.toml) or built-in name")
@@ -553,6 +768,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop gracefully after N runs this session, leaving the "
         "checkpoint for --resume (exit code 3); used by interrupt testing",
     )
+    crun.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append structured lifecycle events (campaign/chunk/row/"
+        "heartbeat) as JSONL to PATH; result rows are byte-identical "
+        "with or without it",
+    )
+    crun.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line stderr progress (rows done/total, rows/s, "
+        "eta, error counts) instead of the every-10%% prints",
+    )
 
     creport = csub.add_parser("report", help="aggregate a results JSONL file")
     creport.add_argument("results", help="path to a results .jsonl file")
@@ -560,6 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--group-by",
         default=None,
         help="comma-separated row fields (default algorithm,n,b,f,engine,fault)",
+    )
+    creport.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="join per-run wall durations back from a campaign-run events "
+        "sidecar (adds wall-ms columns and the slowest-cell ranking)",
     )
 
     return parser
@@ -574,6 +810,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "ben-or": _cmd_ben_or,
         "scenario": _cmd_scenario,
+        "profile": _cmd_profile,
         "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)

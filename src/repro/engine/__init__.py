@@ -30,6 +30,7 @@ from repro.engine.assembly import Instance, build_instance
 from repro.engine.kernel import (
     OBSERVE_FULL,
     OBSERVE_METRICS,
+    OBSERVE_PROFILE,
     ExecutionKernel,
     run_instance,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "LockstepScheduler",
     "OBSERVE_FULL",
     "OBSERVE_METRICS",
+    "OBSERVE_PROFILE",
     "Outcome",
     "RoundDelivery",
     "RoundScheduler",

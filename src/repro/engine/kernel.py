@@ -30,6 +30,7 @@ from repro.core.types import Decision, FaultModel, ProcessId, Round, RoundInfo
 from repro.engine.outcome import Outcome
 from repro.engine.scheduler import RoundScheduler
 from repro.faults.crash import CrashSchedule
+from repro.observability.telemetry import Telemetry
 from repro.rounds.base import OutboundMatrix, RoundProcess, RunContext
 from repro.rounds.predicates import check_pcons, check_pgood, check_prel
 
@@ -38,8 +39,12 @@ from repro.rounds.predicates import check_pcons, check_pgood, check_prel
 OBSERVE_FULL = "full"
 #: Record only decisions and message counters — the campaign hot path.
 OBSERVE_METRICS = "metrics"
+#: Metrics plus phase-time telemetry spans — no trace objects, but every
+#: round's send/deliver/sample/apply/probe phases are wall-timed into the
+#: run's :class:`~repro.observability.telemetry.Telemetry` registry.
+OBSERVE_PROFILE = "profile"
 
-OBSERVE_MODES = (OBSERVE_FULL, OBSERVE_METRICS)
+OBSERVE_MODES = (OBSERVE_FULL, OBSERVE_METRICS, OBSERVE_PROFILE)
 
 #: Maps a global round number to its (phase, kind) description.
 RoundInfoFn = Callable[[Round], RoundInfo]
@@ -70,6 +75,7 @@ class ExecutionKernel:
         decision_probe: Optional[DecisionProbe] = None,
         record_snapshots: bool = False,
         observe: str = OBSERVE_FULL,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if set(processes) != set(model.processes):
             raise ValueError(
@@ -84,6 +90,11 @@ class ExecutionKernel:
         self._processes = dict(processes)
         self._scheduler = scheduler
         scheduler.reset()  # schedulers may carry per-run state (clock, queue)
+        # Always (re)bound, so a scheduler reused across runs never reports
+        # into a stale registry; ``None`` keeps both the kernel and the
+        # scheduler on their exact un-instrumented code paths.
+        self._telemetry = telemetry
+        scheduler.set_telemetry(telemetry)
         self._round_info_fn = round_info_fn
         self._context = context or RunContext(model)
         self._crashes = crash_schedule or CrashSchedule.none(model)
@@ -137,6 +148,11 @@ class ExecutionKernel:
     def trace(self) -> Optional[ExecutionTrace]:
         """The execution trace; ``None`` in metrics mode."""
         return self._trace
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The bound instrumentation registry; ``None`` when disabled."""
+        return self._telemetry
 
     @property
     def decisions(self) -> Dict[ProcessId, Decision]:
@@ -236,6 +252,8 @@ class ExecutionKernel:
 
     def step(self) -> Optional[RoundRecord]:
         """Execute one round; returns its record (``None`` in metrics mode)."""
+        if self._telemetry is not None:
+            return self._step_profiled(self._telemetry)
         info = self._round_info_fn(self._next_round)
         outbound = self._collect_outbound(info)
         delivery = self._scheduler.deliver_round(info, outbound, self._context)
@@ -245,7 +263,39 @@ class ExecutionKernel:
         else:
             self._apply_transitions_fast(info, matrix)
         fired = self._probe_decisions(info, delivery.end_time)
+        return self._account(info, outbound, delivery, fired)
 
+    def _step_profiled(self, tel: Telemetry) -> Optional[RoundRecord]:
+        """The instrumented round: each phase wall-timed into a span.
+
+        The scheduler opens its own ``scheduler.deliver`` span (with a
+        nested ``network.sample`` span on the timed engine), so the round's
+        phase attribution is: ``kernel.send`` (collect the outbound
+        matrix), ``scheduler.deliver``, ``kernel.apply`` (transition
+        functions), ``kernel.probe`` (decision probes) and
+        ``kernel.observe`` (message accounting plus — in full mode —
+        predicate evaluation and trace recording).
+        """
+        info = self._round_info_fn(self._next_round)
+        with tel.span("kernel.send"):
+            outbound = self._collect_outbound(info)
+        delivery = self._scheduler.deliver_round(info, outbound, self._context)
+        matrix = delivery.matrix
+        with tel.span("kernel.apply"):
+            if self._has_crashes:
+                self._apply_transitions(info, matrix)
+            else:
+                self._apply_transitions_fast(info, matrix)
+        with tel.span("kernel.probe"):
+            fired = self._probe_decisions(info, delivery.end_time)
+        with tel.span("kernel.observe"):
+            return self._account(info, outbound, delivery, fired)
+
+    def _account(
+        self, info: RoundInfo, outbound: OutboundMatrix, delivery, fired
+    ) -> Optional[RoundRecord]:
+        """Fold one delivered round into counters (and the trace, if any)."""
+        matrix = delivery.matrix
         sent = sum(map(len, outbound.values()))
         delivered = sum(map(len, matrix.values()))
         self._messages_sent += sent
@@ -305,6 +355,7 @@ def run_instance(
     crash_schedule: Optional[CrashSchedule] = None,
     record_snapshots: Optional[bool] = None,
     stop_when: Optional[StopWhen] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Outcome:
     """Run one assembled :class:`~repro.engine.assembly.Instance` to completion.
 
@@ -313,9 +364,15 @@ def run_instance(
     ``record_snapshots`` defaults to the observation mode: full observation
     records per-round state snapshot dicts, metrics mode records nothing
     per-round (the compatibility wrappers pass their own explicit flag).
+    ``observe="profile"`` instruments the run (a fresh
+    :class:`~repro.observability.telemetry.Telemetry` is created when none
+    is passed); any mode accepts an explicit ``telemetry`` registry, which
+    comes back as ``Outcome.telemetry``.
     """
     if record_snapshots is None:
         record_snapshots = observe == OBSERVE_FULL
+    if telemetry is None and observe == OBSERVE_PROFILE:
+        telemetry = Telemetry()
     kernel = ExecutionKernel(
         instance.parameters.model,
         instance.processes,
@@ -327,6 +384,7 @@ def run_instance(
         decision_probe=instance.decision_probe,
         record_snapshots=record_snapshots,
         observe=observe,
+        telemetry=telemetry,
     )
     if stop_when is None:
         target = kernel.eventually_correct
@@ -352,4 +410,5 @@ def run_instance(
         messages_dropped=kernel.messages_dropped,
         observe=observe,
         trace=kernel.trace,
+        telemetry=kernel.telemetry,
     )

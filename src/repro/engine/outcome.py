@@ -17,6 +17,7 @@ from repro.analysis.trace import ExecutionTrace
 from repro.core.parameters import ConsensusParameters
 from repro.core.process import GenericConsensusProcess, RoundStructure
 from repro.core.types import Decision, ProcessId, Value
+from repro.observability.telemetry import Telemetry
 from repro.rounds.base import RoundProcess, RunContext
 
 
@@ -43,6 +44,9 @@ class Outcome:
     observe: str
     #: Full execution trace; ``None`` in metrics mode.
     trace: Optional[ExecutionTrace] = None
+    #: Phase-time instrumentation registry; set in ``observe="profile"``
+    #: mode (or whenever the caller passed one) — ``None`` otherwise.
+    telemetry: Optional[Telemetry] = None
 
     # -- decisions ---------------------------------------------------------
 

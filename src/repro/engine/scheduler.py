@@ -77,6 +77,19 @@ class RoundScheduler(abc.ABC):
     across runs.
     """
 
+    #: Bound instrumentation registry, or ``None`` (the un-instrumented hot
+    #: path — subclasses branch once per round on this, so the disabled
+    #: path executes the exact pre-instrumentation code).
+    _telemetry = None
+
+    def set_telemetry(self, telemetry) -> None:
+        """Bind (or, with ``None``, clear) the per-run telemetry registry.
+
+        The kernel calls this every time it binds a scheduler, so a
+        scheduler reused across runs never reports into a stale registry.
+        """
+        self._telemetry = telemetry
+
     def reset(self) -> None:
         """Clear per-run state; called when a kernel binds this scheduler."""
 
@@ -100,6 +113,15 @@ class LockstepScheduler(RoundScheduler):
     def deliver_round(
         self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
     ) -> RoundDelivery:
+        tel = self._telemetry
+        if tel is None:
+            return self._deliver(info, outbound, ctx)
+        with tel.span("scheduler.deliver"):
+            return self._deliver(info, outbound, ctx)
+
+    def _deliver(
+        self, info: RoundInfo, outbound: OutboundMatrix, ctx: RunContext
+    ) -> RoundDelivery:
         # A policy withholds by omission; each sent edge that did not reach
         # its destination counts as dropped, so sent == delivered + dropped
         # holds on both scheduler branches.  Exact-delivery policies report
@@ -118,6 +140,36 @@ class LockstepScheduler(RoundScheduler):
                     if sender not in get(dest, empty):
                         dropped += 1
         return RoundDelivery(matrix, dropped=dropped)
+
+
+class _SampleTimingNetwork:
+    """A timing proxy over :class:`PartialSynchronyNetwork` sampling calls.
+
+    Instrumented timed rounds route latency sampling through this wrapper,
+    which accounts each batched draw into a ``network.sample`` span (nested
+    inside the scheduler's ``scheduler.deliver`` span).  The network object
+    itself stays untouched, so the un-instrumented path pays nothing.
+    ``constant_transit`` passes through un-timed: it is the zero-draw
+    post-GST short-circuit, and timing it would misreport the phase it
+    exists to skip.
+    """
+
+    __slots__ = ("_network", "_telemetry")
+
+    def __init__(self, network, telemetry) -> None:
+        self._network = network
+        self._telemetry = telemetry
+
+    def constant_transit(self, send_time: float):
+        return self._network.constant_transit(send_time)
+
+    def sample_fan(self, send_time: float, sender: ProcessId, dests):
+        with self._telemetry.span("network.sample"):
+            return self._network.sample_fan(send_time, sender, dests)
+
+    def sample_round(self, send_time: float, edges):
+        with self._telemetry.span("network.sample"):
+            return self._network.sample_round(send_time, edges)
 
 
 class TimedScheduler(RoundScheduler):
@@ -171,11 +223,33 @@ class TimedScheduler(RoundScheduler):
         if info.kind is RoundKind.SELECTION:
             duration *= self._selection_factor
         deadline = self._now + duration
-        if self._queue is not None:
-            return self._deliver_round_heap(info, outbound, ctx, deadline)
+        tel = self._telemetry
+        if tel is None:
+            if self._queue is not None:
+                return self._deliver_round_heap(info, outbound, ctx, deadline)
+            return self._deliver_fast(
+                info, outbound, ctx, deadline, self._network
+            )
+        with tel.span("scheduler.deliver"):
+            if self._queue is not None:
+                # The heap path samples through transit_time message by
+                # message; attribution stays at the deliver-span level.
+                return self._deliver_round_heap(info, outbound, ctx, deadline)
+            return self._deliver_fast(
+                info, outbound, ctx, deadline,
+                _SampleTimingNetwork(self._network, tel),
+            )
 
+    def _deliver_fast(
+        self,
+        info: RoundInfo,
+        outbound: OutboundMatrix,
+        ctx: RunContext,
+        deadline: float,
+        network,
+    ) -> RoundDelivery:
+        """Heap-free deadline delivery; ``network`` may be a timing proxy."""
         now = self._now
-        network = self._network
         dropped = 0
         matrix: DeliveryMatrix = {}
         setdefault = matrix.setdefault

@@ -1,0 +1,128 @@
+"""Structured JSONL lifecycle events: the campaign's flight recorder.
+
+An :class:`EventLog` appends one compact JSON object per line to a sidecar
+file (``repro campaign run --events PATH``).  Every event carries ``ts``
+(unix seconds) and ``kind``; the remaining fields are kind-specific:
+
+========================  =====================================================
+kind                      fields
+========================  =====================================================
+``campaign_started``      ``campaign, total_runs, workers, chunk, seed,
+                          skipped, resume``
+``chunk_dispatched``      ``runs`` (runs submitted in the worker task)
+``row_completed``         ``run_id, status, duration_ms, pid``
+``checkpoint_flushed``    ``rows`` (rows recorded so far this session)
+``worker_heartbeat``      ``pid, rows, rows_per_s`` (cumulative, parent clock)
+``resume_skipped``        ``rows`` (recorded runs --resume did not re-execute)
+``campaign_finished``     ``rows, errors, elapsed_s, interrupted``
+========================  =====================================================
+
+The event stream is diagnostic, not canonical: result rows remain the only
+source of truth, the canonical JSONL is byte-identical with and without an
+event log attached (the inertness test pins this), and readers must ignore
+kinds they do not know.
+
+Each ``emit`` writes and flushes one line, mirroring the crash-safety
+discipline of :class:`~repro.campaigns.results.ResultSink`: an interrupted
+campaign's event file is complete up to the crash (modulo one torn tail,
+which :func:`read_events` tolerates exactly like the checkpoint scanner).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from types import TracebackType
+from typing import Dict, Iterator, List, Optional, Type
+
+__all__ = ["EventLog", "load_row_durations", "read_events"]
+
+Event = Dict[str, object]
+
+
+class EventLog:
+    """A held-open, flush-per-event JSONL writer for lifecycle events."""
+
+    def __init__(self, path: object) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one event; ``ts`` and ``kind`` lead every object."""
+        event: Event = {"ts": round(time.time(), 6), "kind": kind}
+        event.update(fields)
+        self._handle.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+def iter_events(path: object) -> Iterator[Event]:
+    """Lazily yield events; one torn final line (crash mid-write) is skipped.
+
+    Corruption anywhere before the final line raises ``ValueError`` — this
+    writer flushes line-atomically, so a mid-file garble means the file is
+    not an event log it produced.
+    """
+    deferred: Optional[str] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if deferred is not None:
+                raise ValueError(deferred)
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                deferred = f"{path}:{number}: corrupt event line ({exc})"
+                continue
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(f"{path}:{number}: event without a kind")
+            yield event
+
+
+def read_events(path: object, kind: Optional[str] = None) -> List[Event]:
+    """Load an event file, optionally filtered to one ``kind``."""
+    return [
+        event
+        for event in iter_events(path)
+        if kind is None or event.get("kind") == kind
+    ]
+
+
+def load_row_durations(path: object) -> Dict[int, float]:
+    """``run_id → duration_ms`` from a file's ``row_completed`` events.
+
+    Wall durations are deliberately volatile — they never enter the
+    canonical result JSONL — so ``repro campaign report --events`` joins
+    them back onto result rows through this map.  A run re-executed after
+    an interrupt appears twice; the last occurrence wins (it is the one
+    whose row survived in the checkpoint).
+    """
+    durations: Dict[int, float] = {}
+    for event in iter_events(path):
+        if event.get("kind") != "row_completed":
+            continue
+        run_id = event.get("run_id")
+        duration = event.get("duration_ms")
+        if isinstance(run_id, int) and isinstance(duration, (int, float)):
+            durations[run_id] = float(duration)
+    return durations

@@ -1,0 +1,96 @@
+"""A live, single-line campaign progress display for interactive terminals.
+
+``repro campaign run --progress`` swaps the default every-10% progress
+prints for one carriage-return-updated stderr line::
+
+    gauntlet:  512/1152 runs  44%  183.2 runs/s  eta 3s  err 0  inadm 96
+
+Rendering is throttled (default 10 Hz) so a fast campaign is not bound by
+terminal writes; the final state always renders, followed by a newline so
+subsequent output starts clean.  The renderer itself is stream-agnostic —
+tests drive it with ``io.StringIO`` and an injected clock.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import Callable, Optional, TextIO
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """Throttled ``\\r``-overwritten progress line for one campaign."""
+
+    def __init__(
+        self,
+        label: str,
+        total: int,
+        *,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        self._label = label
+        self._total = total
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._clock = clock
+        self._start = clock()
+        self._last_render = float("-inf")
+        self._last_width = 0
+        self._closed = False
+
+    def render(
+        self, completed: int, errors: int = 0, inadmissible: int = 0
+    ) -> None:
+        """Update the line (no-op inside the throttle window)."""
+        now = self._clock()
+        if now - self._last_render < self._min_interval:
+            return
+        self._last_render = now
+        self._write(self._format(completed, errors, inadmissible, now))
+
+    def finish(
+        self, completed: int, errors: int = 0, inadmissible: int = 0
+    ) -> None:
+        """Force a final render and terminate the line with a newline."""
+        if self._closed:
+            return
+        self._closed = True
+        self._write(self._format(completed, errors, inadmissible, self._clock()))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def _format(
+        self, completed: int, errors: int, inadmissible: int, now: float
+    ) -> str:
+        elapsed = now - self._start
+        rate = completed / elapsed if elapsed > 0 else 0.0
+        remaining = self._total - completed
+        if rate > 0 and remaining >= 0:
+            eta = f"eta {self._format_eta(remaining / rate)}"
+        else:
+            eta = "eta ?"
+        share = completed / self._total if self._total else 1.0
+        return (
+            f"{self._label}: {completed:>{len(str(self._total))}}/{self._total}"
+            f" runs {share:4.0%}  {rate:.1f} runs/s  {eta}"
+            f"  err {errors}  inadm {inadmissible}"
+        )
+
+    @staticmethod
+    def _format_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
+
+    def _write(self, line: str) -> None:
+        # Pad with spaces to wipe any longer previous render before \r.
+        padding = " " * max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        self._stream.write("\r" + line + padding)
+        self._stream.flush()

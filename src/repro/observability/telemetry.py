@@ -1,0 +1,281 @@
+"""The instrumentation core: counters, gauges, histograms, phase spans.
+
+One :class:`Telemetry` object instruments one run (or one CLI session — the
+registry is not thread-aware; give each kernel its own instance the way the
+campaign runner gives each run its own RNG stream).  Everything is a plain
+dict of plain numbers, so a snapshot is JSON-serializable as-is.
+
+The off path costs nothing.  Code that may run un-instrumented either holds
+``telemetry = None`` and branches once per round (what the kernel and the
+schedulers do — the disabled hot path executes the exact pre-instrumentation
+code), or holds :data:`NULL_TELEMETRY`, whose methods are allocation-free
+no-ops and whose :meth:`~NullTelemetry.span` returns one shared reusable
+context manager.
+
+Spans nest.  Each ``with telemetry.span(name):`` block accumulates into its
+name's ``(calls, total, self)`` record; the *self* time excludes any nested
+span's total, so a phase table can report disjoint time attribution while
+``total`` keeps the intuitive inclusive reading.  Span names use dotted
+``layer.phase`` convention (``kernel.send``, ``scheduler.deliver``,
+``network.sample``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "format_phase_table",
+]
+
+
+class _SpanTimer:
+    """One active ``with telemetry.span(name)`` block."""
+
+    __slots__ = ("_telemetry", "_name", "_start", "_child_total")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_SpanTimer":
+        self._child_total = 0.0
+        self._telemetry._stack.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = perf_counter() - self._start
+        telemetry = self._telemetry
+        telemetry._stack.pop()
+        record = telemetry._spans.get(self._name)
+        if record is None:
+            record = telemetry._spans[self._name] = [0, 0.0, 0.0]
+        record[0] += 1
+        record[1] += elapsed
+        # Self time: this block minus the (inclusive) time of spans opened
+        # inside it — phase attribution stays disjoint under nesting.
+        record[2] += elapsed - self._child_total
+        stack = telemetry._stack
+        if stack:
+            stack[-1]._child_total += elapsed
+        return False
+
+
+class Telemetry:
+    """A per-run registry of counters, gauges, histograms and span timers."""
+
+    #: Instrumented call sites test this instead of ``isinstance``.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        #: name → [calls, total_seconds, self_seconds].
+        self._spans: Dict[str, List[float]] = {}
+        self._stack: List[_SpanTimer] = []
+
+    # -- scalar instruments --------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the named monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest observed value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        samples = self._histograms.get(name)
+        if samples is None:
+            samples = self._histograms[name] = []
+        samples.append(value)
+
+    # -- span timers ---------------------------------------------------------
+
+    def span(self, name: str) -> _SpanTimer:
+        """A context manager timing one phase; nests and self-attributes."""
+        return _SpanTimer(self, name)
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold externally measured time into a span record directly."""
+        record = self._spans.get(name)
+        if record is None:
+            record = self._spans[name] = [0, 0.0, 0.0]
+        record[0] += calls
+        record[1] += seconds
+        record[2] += seconds
+
+    # -- read-out ------------------------------------------------------------
+
+    @property
+    def span_names(self) -> List[str]:
+        return list(self._spans)
+
+    def span_stats(self, name: str) -> Dict[str, float]:
+        """``{"calls", "total_s", "self_s"}`` for one span name."""
+        calls, total, self_time = self._spans[name]
+        return {"calls": calls, "total_s": total, "self_s": self_time}
+
+    def total_span_seconds(self) -> float:
+        """Sum of *self* time over every span — wall time under spans.
+
+        Self times are disjoint by construction, so this never double
+        counts a nested span, and comparing it against an externally
+        measured wall clock yields the instrumentation coverage ratio.
+        """
+        return sum(record[2] for record in self._spans.values())
+
+    def histogram_stats(self, name: str) -> Dict[str, float]:
+        samples = self._histograms[name]
+        return {
+            "count": len(samples),
+            "min": min(samples),
+            "max": max(samples),
+            "mean": sum(samples) / len(samples),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable dump of every instrument."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: self.histogram_stats(name) for name in self._histograms
+            },
+            "spans": {
+                name: self.span_stats(name) for name in self._spans
+            },
+        }
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another run's instruments into this registry (sums/extends).
+
+        Gauges keep the *other* run's latest value — merging is meant for
+        aggregating repeated runs of one cell, where last-write-wins
+        matches re-running the instrument in sequence.
+        """
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.gauges.items():
+            self.gauges[name] = value
+        for name, samples in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = []
+            mine.extend(samples)
+        for name, (calls, total, self_time) in other._spans.items():
+            record = self._spans.get(name)
+            if record is None:
+                record = self._spans[name] = [0, 0.0, 0.0]
+            record[0] += calls
+            record[1] += total
+            record[2] += self_time
+
+
+class _NullSpan:
+    """The shared, reusable no-op context manager of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Allocation-free no-op telemetry for unconditionally instrumented code.
+
+    Every method discards its arguments; :meth:`span` hands back one shared
+    context manager, so a disabled call site allocates nothing and mutates
+    nothing (the inertness test pins this).  Use the :data:`NULL_TELEMETRY`
+    singleton rather than constructing instances.
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    @property
+    def span_names(self) -> List[str]:
+        return []
+
+    def total_span_seconds(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def format_phase_table(
+    telemetry: Telemetry,
+    *,
+    wall_seconds: Optional[float] = None,
+    order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render span records as an aligned phase-breakdown table.
+
+    Phases are ordered by descending self time unless ``order`` pins an
+    explicit sequence (unknown names are ignored, unlisted spans appended).
+    With ``wall_seconds``, a share column and a coverage footer report how
+    much of the measured wall clock the spans account for.
+    """
+    from repro.analysis.reporting import format_table
+
+    names = sorted(
+        telemetry.span_names,
+        key=lambda name: -telemetry.span_stats(name)["self_s"],
+    )
+    if order is not None:
+        pinned = [name for name in order if name in names]
+        names = pinned + [name for name in names if name not in pinned]
+    headers = ["phase", "calls", "total-ms", "self-ms"]
+    if wall_seconds:
+        headers.append("share")
+    rows = []
+    for name in names:
+        stats = telemetry.span_stats(name)
+        row = [
+            name,
+            int(stats["calls"]),
+            f"{stats['total_s'] * 1000:.3f}",
+            f"{stats['self_s'] * 1000:.3f}",
+        ]
+        if wall_seconds:
+            row.append(f"{stats['self_s'] / wall_seconds:6.1%}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    if wall_seconds:
+        covered = telemetry.total_span_seconds()
+        table += (
+            f"\nspans cover {covered * 1000:.3f} ms of "
+            f"{wall_seconds * 1000:.3f} ms wall ({covered / wall_seconds:.1%})"
+        )
+    return table

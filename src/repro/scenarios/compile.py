@@ -392,9 +392,13 @@ def run_scenario(
     observe: str = "full",
     max_phases: Optional[int] = None,
     network: Optional[PartialSynchronyNetwork] = None,
+    telemetry=None,
 ):
     """Compile ``spec`` (a name or a spec) and run one instance through the
-    unified kernel, returning the engine :class:`~repro.engine.Outcome`."""
+    unified kernel, returning the engine :class:`~repro.engine.Outcome`.
+
+    ``observe="profile"`` (or an explicit ``telemetry`` registry) wall-times
+    the run's phases; the registry comes back as ``Outcome.telemetry``."""
     from repro.engine.assembly import build_instance
     from repro.engine.kernel import run_instance
 
@@ -419,4 +423,5 @@ def run_scenario(
         max_phases=compiled.max_phases() if max_phases is None else max_phases,
         observe=observe,
         crash_schedule=compiled.crash_schedule,
+        telemetry=telemetry,
     )

@@ -1,0 +1,91 @@
+"""The live progress line: throttling, formatting, stream hygiene."""
+
+import io
+
+from repro.observability import ProgressLine
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make_line(total=100, min_interval=0.1):
+    stream = io.StringIO()
+    clock = FakeClock()
+    line = ProgressLine(
+        "demo", total, stream=stream, min_interval=min_interval, clock=clock
+    )
+    return line, stream, clock
+
+
+class TestRendering:
+    def test_render_shows_counts_rate_and_eta(self):
+        line, stream, clock = make_line()
+        clock.now += 2.0
+        line.render(50, errors=3, inadmissible=4)
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert "demo:  50/100 runs" in text
+        assert "50%" in text
+        assert "25.0 runs/s" in text
+        assert "eta 2s" in text
+        assert "err 3" in text and "inadm 4" in text
+
+    def test_unknown_rate_renders_unknown_eta(self):
+        line, stream, _ = make_line()
+        line.render(0)
+        assert "eta ?" in stream.getvalue()
+
+    def test_long_etas_use_minutes_and_hours(self):
+        line, stream, clock = make_line(total=100_000)
+        clock.now += 10.0
+        line.render(10)  # 1 run/s, ~99990 s remaining
+        assert "eta 27.8h" in stream.getvalue()
+
+
+class TestThrottling:
+    def test_renders_inside_window_are_dropped(self):
+        line, stream, clock = make_line()
+        clock.now += 1.0
+        line.render(1)
+        first = stream.getvalue()
+        line.render(2)  # same instant: inside the throttle window
+        assert stream.getvalue() == first
+        clock.now += 0.2
+        line.render(3)
+        assert stream.getvalue() != first
+
+    def test_finish_always_renders_and_terminates_line(self):
+        line, stream, clock = make_line()
+        clock.now += 0.5
+        line.render(10)
+        line.finish(100)  # same instant — must render anyway
+        text = stream.getvalue()
+        assert "100/100" in text
+        assert text.endswith("\n")
+
+    def test_finish_is_idempotent(self):
+        line, stream, _ = make_line()
+        line.finish(100)
+        once = stream.getvalue()
+        line.finish(100)
+        assert stream.getvalue() == once
+
+
+class TestLineHygiene:
+    def test_shorter_render_wipes_longer_previous_one(self):
+        line, stream, clock = make_line()
+        clock.now += 1.0
+        line.render(99, errors=1000, inadmissible=1000)
+        long_width = len(stream.getvalue()) - 1  # minus leading \r
+        stream.truncate(0)
+        stream.seek(0)
+        clock.now += 0.2
+        line.render(99)  # counters shrink → shorter text
+        text = stream.getvalue()[1:]  # strip \r
+        assert len(text) == long_width  # padded to wipe the remnant
+        assert text.rstrip() != text  # trailing wipe spaces present

@@ -1,0 +1,201 @@
+"""The instrumentation core: spans, scalar instruments, and the null path."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    format_phase_table,
+)
+
+
+class TestScalarInstruments:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.count("messages")
+        tel.count("messages", 4)
+        assert tel.counters == {"messages": 5}
+
+    def test_gauges_keep_latest_value(self):
+        tel = Telemetry()
+        tel.gauge("round", 3)
+        tel.gauge("round", 7)
+        assert tel.gauges == {"round": 7}
+
+    def test_histogram_stats(self):
+        tel = Telemetry()
+        for value in (1.0, 2.0, 3.0):
+            tel.observe("latency", value)
+        stats = tel.histogram_stats("latency")
+        assert stats == {"count": 3, "min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_snapshot_is_json_serializable(self):
+        tel = Telemetry()
+        tel.count("c")
+        tel.gauge("g", 1.5)
+        tel.observe("h", 2.0)
+        with tel.span("s"):
+            pass
+        parsed = json.loads(json.dumps(tel.snapshot()))
+        assert parsed["counters"] == {"c": 1}
+        assert parsed["spans"]["s"]["calls"] == 1
+
+
+class TestSpans:
+    def test_span_records_calls_and_nonnegative_times(self):
+        tel = Telemetry()
+        for _ in range(3):
+            with tel.span("phase"):
+                pass
+        stats = tel.span_stats("phase")
+        assert stats["calls"] == 3
+        assert stats["total_s"] >= stats["self_s"] >= 0.0
+
+    def test_nested_spans_attribute_self_time_disjointly(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                # Enough work that inner's elapsed is strictly positive.
+                sum(range(20_000))
+        outer = tel.span_stats("outer")
+        inner = tel.span_stats("inner")
+        # Inclusive outer total covers inner's total; outer's *self* time
+        # excludes it, so the per-phase attribution stays disjoint.
+        assert outer["total_s"] >= inner["total_s"] > 0.0
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"]
+        )
+        assert tel.total_span_seconds() == pytest.approx(
+            outer["self_s"] + inner["self_s"]
+        )
+
+    def test_total_span_seconds_never_exceeds_outer_wall(self):
+        from time import perf_counter
+
+        tel = Telemetry()
+        start = perf_counter()
+        with tel.span("a"):
+            with tel.span("b"):
+                sum(range(10_000))
+            with tel.span("b"):
+                pass
+        wall = perf_counter() - start
+        assert 0.0 < tel.total_span_seconds() <= wall
+
+    def test_sibling_spans_feed_the_same_parent(self):
+        tel = Telemetry()
+        with tel.span("parent"):
+            with tel.span("child"):
+                pass
+            with tel.span("child"):
+                pass
+        assert tel.span_stats("child")["calls"] == 2
+        parent = tel.span_stats("parent")
+        child = tel.span_stats("child")
+        assert parent["self_s"] == pytest.approx(
+            parent["total_s"] - child["total_s"]
+        )
+
+    def test_span_survives_exceptions(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("failing"):
+                raise RuntimeError("boom")
+        assert tel.span_stats("failing")["calls"] == 1
+        assert not tel._stack  # the stack unwound cleanly
+
+    def test_add_time_folds_external_measurements(self):
+        tel = Telemetry()
+        tel.add_time("setup", 0.25, calls=2)
+        tel.add_time("setup", 0.75)
+        stats = tel.span_stats("setup")
+        assert stats["calls"] == 3
+        assert stats["total_s"] == pytest.approx(1.0)
+        assert stats["self_s"] == pytest.approx(1.0)
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_spans(self):
+        a, b = Telemetry(), Telemetry()
+        a.count("c", 1)
+        b.count("c", 2)
+        a.add_time("s", 1.0)
+        b.add_time("s", 2.0, calls=3)
+        b.observe("h", 5.0)
+        b.gauge("g", 9)
+        a.merge(b)
+        assert a.counters == {"c": 3}
+        assert a.gauges == {"g": 9}
+        assert a.span_stats("s")["calls"] == 4
+        assert a.span_stats("s")["total_s"] == pytest.approx(3.0)
+        assert a.histogram_stats("h")["count"] == 1
+
+
+class TestNullTelemetry:
+    def test_disabled_flag(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert Telemetry().enabled is True
+
+    def test_span_is_one_shared_reusable_object(self):
+        # The whole point of the null path: a disabled call site allocates
+        # nothing — every span() call hands back the same context manager.
+        first = NULL_TELEMETRY.span("a")
+        second = NULL_TELEMETRY.span("b")
+        assert first is second
+        with first:
+            pass
+
+    def test_instruments_record_nothing(self):
+        tel = NullTelemetry()
+        tel.count("c")
+        tel.gauge("g", 1)
+        tel.observe("h", 2)
+        tel.add_time("s", 3.0)
+        with tel.span("s"):
+            pass
+        assert tel.span_names == []
+        assert tel.total_span_seconds() == 0.0
+        assert tel.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "spans": {},
+        }
+
+    def test_null_instance_holds_no_mutable_state(self):
+        before = vars(NULL_TELEMETRY).copy() if hasattr(
+            NULL_TELEMETRY, "__dict__"
+        ) else {}
+        NULL_TELEMETRY.count("x")
+        NULL_TELEMETRY.observe("y", 1.0)
+        after = vars(NULL_TELEMETRY).copy() if hasattr(
+            NULL_TELEMETRY, "__dict__"
+        ) else {}
+        assert before == after == {}
+
+
+class TestFormatPhaseTable:
+    def _telemetry(self):
+        tel = Telemetry()
+        tel.add_time("kernel.apply", 0.004, calls=8)
+        tel.add_time("kernel.send", 0.002, calls=8)
+        return tel
+
+    def test_orders_by_descending_self_time(self):
+        table = format_phase_table(self._telemetry())
+        lines = table.splitlines()
+        assert "phase" in lines[0] and "self-ms" in lines[0]
+        assert lines[2].startswith("kernel.apply")
+        assert lines[3].startswith("kernel.send")
+
+    def test_explicit_order_pins_rows(self):
+        table = format_phase_table(
+            self._telemetry(), order=["kernel.send", "unknown.phase"]
+        )
+        assert table.splitlines()[2].startswith("kernel.send")
+
+    def test_wall_seconds_adds_share_and_coverage_footer(self):
+        table = format_phase_table(self._telemetry(), wall_seconds=0.008)
+        assert "share" in table.splitlines()[0]
+        assert "spans cover" in table.splitlines()[-1]
+        assert "75.0%" in table.splitlines()[-1]  # 6 ms of 8 ms wall
