@@ -28,6 +28,15 @@ just embeds the before/after comparison in the report (how the committed
 file records each optimization pass).  Emits ``BENCH_engine.json``
 (override with ``--out``).
 
+Each cell additionally runs **backend arms**: the same coordinate as a
+64-repetition campaign cell dispatched through
+:func:`~repro.campaigns.runner.execute_chunk` under ``backend="scalar"``
+(the per-run oracle) and ``backend="batch"`` (the PR-7 tiered batch
+kernel), metrics observation, reported as rows/sec under the baseline keys
+``cell/engine/metrics/{scalar,batch}``.  The batch acceptance gate requires
+``batch ≥ 10x scalar`` on the acceptance cell (time-window mode only —
+replicated execution makes whole-cell dispatch nearly free).
+
 When the acceptance cell is measured, the report additionally carries a
 ``"profile"`` section (the ``profile-otr-n30`` arm): the cell's
 phase-level span breakdown under ``observe="profile"`` on both engines.
@@ -53,6 +62,10 @@ from repro.scenarios import compile_scenario, get_scenario
 ACCEPTANCE_CELL = "table1-otr-n30"
 ACCEPTANCE_SPEEDUP = 2.0
 
+#: The batch-backend gate: whole-cell batch dispatch must be ≥ 10x the
+#: scalar per-run oracle on the acceptance cell (metrics observation).
+BATCH_ACCEPTANCE_SPEEDUP = 10.0
+
 CELLS = (
     # (name, builder, n, byzantine strategy for the last b processes,
     #  registered scenario — compiled per run when set, as campaigns do)
@@ -63,6 +76,22 @@ CELLS = (
     # scale, proving scenario compilation stays off the hot path.
     ("scenario-partition-pbft-n10", build_pbft, 10, None, "partition_heal"),
 )
+
+#: Runs per backend arm: one campaign cell's worth of repetitions per
+#: ``execute_chunk`` dispatch.
+BACKEND_RUNS = 64
+
+BACKENDS = ("scalar", "batch")
+
+#: Campaign-axis coordinates matching each bench cell: the same algorithm
+#: and fault model, under a registered scenario, so the backend arms
+#: measure exactly what campaign sweeps dispatch.
+BACKEND_CELLS = {
+    "table1-otr-n30": ("one-third-rule", (30, 0, 9), "fault-free"),
+    "table1-pbft-n4-byz": ("pbft", (4, 1, 0), "worst_case"),
+    "table1-fab-n6-byz": ("fab-paxos", (6, 1, 0), "worst_case"),
+    "scenario-partition-pbft-n10": ("pbft", (10, 3, 0), "partition_heal"),
+}
 
 
 def make_runner(
@@ -127,6 +156,53 @@ def make_runner(
         assert outcome.agreement_holds
 
     return run
+
+
+def make_backend_runner(cell: str, engine: str, backend: str) -> Callable[[], None]:
+    """One closure dispatching a 64-run campaign cell through a backend."""
+    from repro.campaigns import CampaignSpec
+    from repro.campaigns.runner import execute_chunk
+
+    algorithm, model, scenario = BACKEND_CELLS[cell]
+    spec = CampaignSpec(
+        name=f"bench-{cell}",
+        algorithms=(algorithm,),
+        models=(model,),
+        engines=(engine,),
+        scenarios=(scenario,),
+        repetitions=BACKEND_RUNS,
+        seed=7,
+    )
+    runs = tuple(spec.iter_runs())
+    assert len(runs) == BACKEND_RUNS
+
+    def run() -> None:
+        rows = execute_chunk(runs, False, backend)
+        assert len(rows) == BACKEND_RUNS
+        assert all(row["status"] == "ok" for row in rows)
+
+    return run
+
+
+def measure_backend(
+    cell: str, engine: str, backend: str, *, budget: Optional[int], seconds: float
+) -> Dict:
+    """Rows/sec of one backend arm (each ``run()`` executes a whole cell).
+
+    In budget mode the budget counts *rows*, so a ``--budget 150`` smoke
+    dispatches ⌈150 / 64⌉ chunks per arm rather than 150 × 64 rows.
+    """
+    chunks = max(1, round(budget / BACKEND_RUNS)) if budget is not None else None
+    sample = measure(
+        make_backend_runner(cell, engine, backend),
+        budget=chunks,
+        seconds=seconds,
+    )
+    sample["runs"] *= BACKEND_RUNS
+    if sample["runs_per_sec"]:
+        sample["runs_per_sec"] = round(sample["runs_per_sec"] * BACKEND_RUNS, 2)
+    sample.update(cell=cell, engine=engine, observe="metrics", backend=backend)
+    return sample
 
 
 def profile_breakdown(runs: int = 5) -> Dict:
@@ -205,16 +281,23 @@ def measure(run: Callable[[], None], *, budget: Optional[int], seconds: float) -
     }
 
 
+def arm_key(sample: Dict) -> str:
+    """``cell/engine/observe[/backend]`` — backend arms get the suffix so
+    the classic keys (and their committed baselines) stay stable."""
+    key = f"{sample['cell']}/{sample['engine']}/{sample['observe']}"
+    backend = sample.get("backend")
+    return f"{key}/{backend}" if backend else key
+
+
 def load_baseline(path: str) -> Dict[str, float]:
-    """``cell/engine/observe`` → committed runs/sec from a bench report."""
+    """``cell/engine/observe[/backend]`` → committed runs/sec."""
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
     rates: Dict[str, float] = {}
     for sample in report.get("cells", ()):
         rate = sample.get("runs_per_sec")
         if rate:
-            key = f"{sample['cell']}/{sample['engine']}/{sample['observe']}"
-            rates[key] = rate
+            rates[arm_key(sample)] = rate
     return rates
 
 
@@ -304,6 +387,15 @@ def main(argv=None) -> int:
                     rate = sample["runs_per_sec"] or 0
                     if key not in best or rate > (best[key]["runs_per_sec"] or 0):
                         best[key] = sample
+                for backend in BACKENDS:
+                    sample = measure_backend(
+                        name, engine, backend,
+                        budget=args.budget, seconds=args.seconds,
+                    )
+                    key = (name, engine, OBSERVE_METRICS, backend)
+                    rate = sample["runs_per_sec"] or 0
+                    if key not in best or rate > (best[key]["runs_per_sec"] or 0):
+                        best[key] = sample
 
     results: List[Dict] = []
     speedups: Dict[str, float] = {}
@@ -325,6 +417,22 @@ def main(argv=None) -> int:
                     f"metrics={rates[OBSERVE_METRICS]:9.1f}/s "
                     f"speedup={speedup:.2f}x"
                 )
+            backend_rates = {}
+            for backend in BACKENDS:
+                sample = best[(name, engine, OBSERVE_METRICS, backend)]
+                results.append(sample)
+                backend_rates[backend] = sample["runs_per_sec"]
+            if backend_rates["scalar"] and backend_rates["batch"]:
+                speedup = round(
+                    backend_rates["batch"] / backend_rates["scalar"], 2
+                )
+                speedups[f"{name}/{engine}/batch"] = speedup
+                print(
+                    f"{name:22s} {engine:9s} "
+                    f"scalar={backend_rates['scalar']:9.1f}/s "
+                    f"batch={backend_rates['batch']:9.1f}/s "
+                    f"speedup={speedup:.2f}x"
+                )
 
     acceptance_key = f"{ACCEPTANCE_CELL}/lockstep"
     acceptance = {
@@ -336,6 +444,16 @@ def main(argv=None) -> int:
             and speedups[acceptance_key] >= ACCEPTANCE_SPEEDUP
         ),
     }
+    batch_key = f"{ACCEPTANCE_CELL}/lockstep/batch"
+    batch_acceptance = {
+        "cell": batch_key,
+        "required_speedup": BATCH_ACCEPTANCE_SPEEDUP,
+        "measured_speedup": speedups.get(batch_key),
+        "pass": (
+            speedups.get(batch_key) is not None
+            and speedups[batch_key] >= BATCH_ACCEPTANCE_SPEEDUP
+        ),
+    }
     report = {
         "benchmark": "engine_throughput",
         "budget": args.budget,
@@ -344,6 +462,7 @@ def main(argv=None) -> int:
         "cells": results,
         "speedups": speedups,
         "acceptance": acceptance,
+        "batch_acceptance": batch_acceptance,
     }
     if ACCEPTANCE_CELL in selected:
         report["profile"] = profile_breakdown(runs=args.budget or 5)
@@ -356,7 +475,7 @@ def main(argv=None) -> int:
             rate = sample["runs_per_sec"]
             if not rate:
                 continue
-            key = f"{sample['cell']}/{sample['engine']}/{sample['observe']}"
+            key = arm_key(sample)
             committed = baseline.get(key)
             if committed is None:
                 # A measured arm the baseline never recorded cannot be
@@ -400,6 +519,13 @@ def main(argv=None) -> int:
             and not acceptance["pass"]
         ):
             print("acceptance speedup not reached", file=sys.stderr)
+            return 1
+        if (
+            args.budget is None
+            and batch_acceptance["measured_speedup"] is not None
+            and not batch_acceptance["pass"]
+        ):
+            print("batch acceptance speedup not reached", file=sys.stderr)
             return 1
     return 0
 

@@ -62,9 +62,13 @@ from repro.campaigns.results import (
     write_rows,
 )
 from repro.campaigns.runner import (
+    BACKEND_ENV,
+    BACKENDS,
+    BATCH_FLOOR,
     execute_chunk,
     execute_run,
     iter_campaign,
+    resolve_backend,
     run_campaign,
 )
 from repro.campaigns.spec import (
@@ -79,6 +83,9 @@ from repro.campaigns.spec import (
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "BATCH_FLOOR",
     "BUILTIN_CAMPAIGNS",
     "CampaignSpec",
     "CellSummary",
@@ -103,6 +110,7 @@ __all__ = [
     "percentile",
     "read_rows",
     "resolve_algorithm",
+    "resolve_backend",
     "row_to_json",
     "rows_to_jsonl",
     "run_campaign",

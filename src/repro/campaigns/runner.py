@@ -33,6 +33,13 @@ or per-round snapshot dict is ever constructed, which is what makes large
 sweeps cheap.  The property columns come from the kernel's
 :meth:`~repro.engine.outcome.Outcome.invariant_report`, identical under
 both schedulers.
+
+Metrics-mode rows may additionally route through the **batch kernel**
+(:mod:`repro.engine.batch`): chunks are grouped by campaign cell and each
+group of at least :data:`BATCH_FLOOR` runs executes as a unit (``backend=
+"auto"``; ``"batch"`` forces it at any size, ``"scalar"`` disables it, the
+:data:`BACKEND_ENV` env var sets the default).  The batch kernel is a pure
+throughput optimization — its rows are byte-identical to the oracle's.
 """
 
 from __future__ import annotations
@@ -266,15 +273,80 @@ WINDOW_PER_WORKER = 4
 #: than this, keeping per-future result latency and memory bounded.
 MAX_CHUNK = 32
 
+#: Execution backends: ``auto`` batches cells at or above
+#: :data:`BATCH_FLOOR` runs, ``batch`` forces the batch kernel on every
+#: cell group, ``scalar`` forces the per-run oracle.
+BACKENDS = ("auto", "batch", "scalar")
 
-def execute_chunk(runs: Sequence[RunSpec], timings: bool = False) -> List[Row]:
+#: Environment default for the backend (CLI ``--backend`` wins).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Smallest cell group the ``auto`` backend routes through the batch
+#: kernel: below this, per-cell planning overhead outweighs the batching
+#: win (single-repetition campaigns stay on the oracle path entirely).
+BATCH_FLOOR = 4
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize a backend choice: explicit arg, else env, else ``auto``."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "auto"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    return backend
+
+
+def _iter_cell_groups(runs: Sequence[RunSpec]) -> Iterator[List[RunSpec]]:
+    """Split a chunk into maximal groups of consecutive same-cell runs.
+
+    Repetitions are the innermost grid axis, so a cell's runs arrive
+    consecutively; grouping only adjacent runs therefore recovers whole
+    cells (up to chunk boundaries) while trivially preserving row order.
+    """
+    from repro.engine.batch import cell_key
+
+    group: List[RunSpec] = []
+    key = None
+    for run in runs:
+        run_key = cell_key(run)
+        if group and run_key != key:
+            yield group
+            group = []
+        group.append(run)
+        key = run_key
+    if group:
+        yield group
+
+
+def execute_chunk(
+    runs: Sequence[RunSpec],
+    timings: bool = False,
+    backend: Optional[str] = None,
+) -> List[Row]:
     """Execute a batch of runs in one worker task (one dispatch round-trip).
 
     Chunking amortizes the per-future submit/pickle/wakeup overhead of the
     process pool, and lets the worker-side memos (:func:`resolve_algorithm`,
     scenario compilation templates) stay warm across consecutive runs.
+
+    Under the ``auto`` / ``batch`` backends the chunk is additionally
+    grouped by campaign cell and each group executes through the batch
+    kernel (:func:`repro.engine.batch.run_batch`); row contents are
+    byte-identical to the scalar oracle at every backend, so the choice is
+    purely a throughput knob.
     """
-    return [execute_run(run, timings=timings) for run in runs]
+    backend = resolve_backend(backend)
+    if backend == "scalar":
+        return [execute_run(run, timings=timings) for run in runs]
+    from repro.engine.batch import run_batch
+
+    rows: List[Row] = []
+    for group in _iter_cell_groups(runs):
+        if backend == "auto" and len(group) < BATCH_FLOOR:
+            rows.extend(execute_run(run, timings=timings) for run in group)
+        else:
+            rows.extend(run_batch(group, timings=timings))
+    return rows
 
 
 def _auto_chunk(remaining: int, workers: int) -> int:
@@ -297,6 +369,7 @@ def iter_campaign(
     chunk: Optional[int] = None,
     timings: bool = False,
     on_event: Optional[EventFn] = None,
+    backend: Optional[str] = None,
 ) -> Iterator[Row]:
     """Stream result rows as runs complete (completion order, not run_id).
 
@@ -320,6 +393,10 @@ def iter_campaign(
     runner lifecycle events (a ``chunk_dispatched`` per submitted worker
     task) for the CLI's events sidecar.  Both default off, so library
     callers see exactly the historical row stream.
+
+    ``backend`` selects the execution backend (see :data:`BACKENDS`;
+    ``None`` reads :data:`BACKEND_ENV`, else ``auto``): the batch kernel
+    changes only throughput, never row bytes.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
@@ -327,6 +404,7 @@ def iter_campaign(
         raise ValueError(f"window must be ≥ 1, got {window}")
     if chunk is not None and chunk < 1:
         raise ValueError(f"chunk must be ≥ 1, got {chunk}")
+    backend = resolve_backend(backend)
     skip = frozenset(skip_run_ids or ())
     total = spec.total_runs
     completed = len(skip)
@@ -340,8 +418,30 @@ def iter_campaign(
         return row
 
     if workers == 1:
+        if backend == "scalar":
+            for run in runs:
+                yield advance(execute_run(run, timings=timings))
+            return
+        # Batching backends buffer consecutive same-cell runs so whole
+        # cells reach the batch kernel; ``chunk`` caps the buffer (default
+        # MAX_CHUNK), bounding the latency between a run finishing and its
+        # row streaming out.
+        from repro.engine.batch import cell_key
+
+        limit = chunk if chunk is not None else MAX_CHUNK
+        buffer: List[RunSpec] = []
+        key = None
         for run in runs:
-            yield advance(execute_run(run, timings=timings))
+            run_key = cell_key(run)
+            if buffer and (run_key != key or len(buffer) >= limit):
+                for row in execute_chunk(tuple(buffer), timings, backend):
+                    yield advance(row)
+                buffer = []
+            buffer.append(run)
+            key = run_key
+        if buffer:
+            for row in execute_chunk(tuple(buffer), timings, backend):
+                yield advance(row)
         return
 
     if chunk is None:
@@ -361,7 +461,7 @@ def iter_campaign(
 
         def submit() -> None:
             nonlocal inflight
-            future = pool.submit(execute_chunk, tuple(batch), timings)
+            future = pool.submit(execute_chunk, tuple(batch), timings, backend)
             pending[future] = len(batch)
             inflight += len(batch)
             if on_event is not None:
@@ -396,6 +496,7 @@ def run_campaign(
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
     chunk: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[Row]:
     """Execute every run of ``spec`` and return rows ordered by ``run_id``.
 
@@ -404,7 +505,13 @@ def run_campaign(
     when the grid is too large to hold in memory.
     """
     rows = list(
-        iter_campaign(spec, workers=workers, progress=progress, chunk=chunk)
+        iter_campaign(
+            spec,
+            workers=workers,
+            progress=progress,
+            chunk=chunk,
+            backend=backend,
+        )
     )
     rows.sort(key=lambda row: row["run_id"])
     return rows

@@ -241,6 +241,75 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return handlers[args.scenario_command](args)
 
 
+def _cmd_profile_batch(args: argparse.Namespace) -> int:
+    """``repro profile --batch B``: one cell through the batch kernel.
+
+    Expands B campaign-style repetitions of the profiled cell (same
+    coordinate-derived seeds a real campaign would use), executes them as
+    one batch with telemetry bound, and prints the plan, the per-tier
+    ``batch.*`` counters and the span breakdown — the quickest way to see
+    whether a cell actually runs columnar and where its time goes.
+    """
+    from collections import Counter
+    from time import perf_counter
+
+    from repro.campaigns import CampaignSpec
+    from repro.engine.batch import plan_for_run, run_batch
+    from repro.observability import Telemetry, format_phase_table
+
+    try:
+        spec = CampaignSpec(
+            name=f"profile-{args.scenario}",
+            algorithms=(args.algorithm,),
+            models=((args.n, args.b, args.f),),
+            engines=(args.engine,),
+            scenarios=(args.scenario,),
+            repetitions=args.batch,
+            seed=args.seed,
+            **(
+                {"max_phases": args.max_phases}
+                if args.max_phases is not None
+                else {}
+            ),
+        )
+        runs = list(spec.iter_runs())
+    except (KeyError, ValueError) as exc:
+        print(f"cannot expand cell: {exc}", file=sys.stderr)
+        return 2
+    plan = plan_for_run(runs[0])
+    telemetry = Telemetry()
+    wall_start = perf_counter()
+    rows = run_batch(runs, telemetry=telemetry)
+    wall = perf_counter() - wall_start
+    statuses = Counter(str(row.get("status")) for row in rows)
+    backends = Counter(str(row.get("_backend")) for row in rows)
+    print(
+        f"batch profile: {args.scenario} on {args.algorithm} n={args.n} "
+        f"b={args.b} f={args.f} ({args.engine}, seed {args.seed}, "
+        f"{args.batch} run(s))"
+    )
+    print(f"  plan: {plan.mode} — {plan.reason}")
+    print(
+        "  rows: "
+        + "  ".join(f"{name} {count}" for name, count in sorted(backends.items()))
+        + "  |  status: "
+        + "  ".join(f"{name} {count}" for name, count in sorted(statuses.items()))
+    )
+    counters = {
+        name: value
+        for name, value in sorted(telemetry.counters.items())
+        if name.startswith("batch.")
+    }
+    if counters:
+        print(
+            "  counters: "
+            + "  ".join(f"{name}={value}" for name, value in counters.items())
+        )
+    print()
+    print(format_phase_table(telemetry, wall_seconds=wall))
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from time import perf_counter
 
@@ -248,6 +317,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.observability import Telemetry, format_phase_table
     from repro.scenarios import ScenarioInapplicable, get_scenario, run_scenario
 
+    if args.batch is not None:
+        return _cmd_profile_batch(args)
     telemetry = Telemetry()
     wall_start = perf_counter()
     # Setup and analysis get spans of their own so the phase table accounts
@@ -346,7 +417,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from dataclasses import replace as dc_replace
     from time import perf_counter
 
-    from repro.campaigns import format_report, format_slowest_cells, iter_campaign
+    from repro.campaigns import (
+        format_report,
+        format_slowest_cells,
+        iter_campaign,
+        resolve_backend,
+    )
     from repro.campaigns.aggregate import SummaryFold
     from repro.campaigns.results import (
         ResultStore,
@@ -359,6 +435,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
     spec = _load_campaign(args.spec)
     if spec is None:
+        return 2
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)  # a bad REPRO_BACKEND value
         return 2
     if args.seed is not None:
         spec = dc_replace(spec, seed=args.seed)
@@ -425,7 +506,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     print(
         f"campaign {spec.name!r}: {total} runs"
         + (f" ({len(skip)} already recorded)" if skip else "")
-        + f", {args.workers} worker(s), seed {spec.seed}",
+        + f", {args.workers} worker(s), seed {spec.seed}, "
+        + f"backend {backend}",
         file=sys.stderr,
     )
     # Error/violation counts and the per-cell report fold in the same pass
@@ -452,6 +534,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     interrupted = False
     started_at = perf_counter()
     worker_rows: dict = {}
+    backend_rows: dict = {}
     store = ResultStore(checkpoint)
 
     def on_event(kind: str, fields: dict) -> None:
@@ -465,6 +548,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk=args.chunk,
             seed=spec.seed,
+            backend=backend,
             skipped=len(skip),
             resume=bool(args.resume),
         )
@@ -481,9 +565,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                     chunk=args.chunk,
                     timings=True,
                     on_event=on_event if events is not None else None,
+                    backend=backend,
                 ):
                     sink.append(row)
                     status = row.get("status")
+                    row_backend = row.get("_backend", "scalar")
+                    backend_rows[row_backend] = (
+                        backend_rows.get(row_backend, 0) + 1
+                    )
                     if status == "error":
                         live["errors"] += 1
                     elif status == "inadmissible":
@@ -496,6 +585,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                             "row_completed",
                             run_id=row.get("run_id"),
                             status=status,
+                            backend=row_backend,
                             duration_ms=row.get("_elapsed_ms"),
                             pid=row.get("_pid"),
                         )
@@ -549,6 +639,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 errors=live["errors"],
                 elapsed_s=round(perf_counter() - started_at, 6),
                 interrupted=interrupted,
+                backends={
+                    name: backend_rows[name] for name in sorted(backend_rows)
+                },
             )
             events.close()
 
@@ -730,6 +823,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate spans over N runs (seeds seed..seed+N-1)",
     )
     profile.add_argument("--max-phases", type=int, default=None)
+    profile.add_argument(
+        "--batch",
+        type=positive_int,
+        default=None,
+        metavar="B",
+        help="profile the batch kernel instead: execute B campaign-style "
+        "repetitions of this cell as one batch and print the plan, the "
+        "batch.* counters and the span breakdown",
+    )
 
     campaign = sub.add_parser(
         "campaign", help="declarative scenario sweeps (run/report/list)"
@@ -781,6 +883,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="live single-line stderr progress (rows done/total, rows/s, "
         "eta, error counts) instead of the every-10%% prints",
+    )
+    crun.add_argument(
+        "--backend",
+        choices=["auto", "batch", "scalar"],
+        default=None,
+        help="execution backend: auto batches campaign cells of ≥ 4 runs "
+        "through the batch kernel, batch forces it on every cell, scalar "
+        "forces the per-run oracle (default: the REPRO_BACKEND env var, "
+        "else auto); result rows are byte-identical at every backend",
     )
 
     creport = csub.add_parser("report", help="aggregate a results JSONL file")

@@ -20,6 +20,11 @@ execution path into three orthogonal pieces:
   :class:`Outcome`.  ``observe="full"`` records an execution trace with
   per-round predicate evaluations; ``observe="metrics"`` skips all
   per-round record construction — the hot path for campaign sweeps.
+* **Batching** (:mod:`repro.engine.batch`) — whole campaign cells execute
+  as array programs: seed-independent cells replicate one representative
+  run, seed-dependent timed cells advance B kernels in lockstep over
+  block-capable RNG streams, and everything else falls back to the
+  per-run scalar oracle, byte for byte.
 
 ``repro.core.run.run_consensus`` and
 ``repro.eventsim.runtime.run_timed_consensus`` are thin compatibility
@@ -32,6 +37,7 @@ from repro.engine.kernel import (
     OBSERVE_METRICS,
     OBSERVE_PROFILE,
     ExecutionKernel,
+    kernel_outcome,
     run_instance,
 )
 from repro.engine.outcome import Outcome
@@ -42,7 +48,33 @@ from repro.engine.scheduler import (
     TimedScheduler,
 )
 
+#: Batch-backend names re-exported lazily (PEP 562): ``repro.engine.batch``
+#: imports campaign specs, which import algorithm builders, which import
+#: this package — an eager import here would close that cycle during
+#: interpreter start-up.
+_BATCH_EXPORTS = frozenset(
+    {
+        "BatchPlan",
+        "ColumnarTimedScheduler",
+        "cell_key",
+        "plan_cell",
+        "plan_for_run",
+        "run_batch",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from repro.engine import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BatchPlan",
+    "ColumnarTimedScheduler",
     "ExecutionKernel",
     "Instance",
     "LockstepScheduler",
@@ -54,5 +86,10 @@ __all__ = [
     "RoundScheduler",
     "TimedScheduler",
     "build_instance",
+    "cell_key",
+    "kernel_outcome",
+    "plan_cell",
+    "plan_for_run",
+    "run_batch",
     "run_instance",
 ]

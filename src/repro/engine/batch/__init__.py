@@ -1,0 +1,64 @@
+"""Columnar batched execution: whole campaign cells as array programs.
+
+One campaign *cell* is B runs differing only in repetition index and
+derived seed.  This package executes a cell as a unit — see
+:mod:`repro.engine.batch.plan` for the three execution tiers (replicate /
+columnar / scalar), :mod:`repro.engine.batch.scheduler` for the
+block-stream timed scheduler, and :mod:`repro.engine.batch.kernel` for the
+lockstep sweep that drives B kernels round by round.
+
+The per-run RNG-stream contract
+===============================
+
+Batch row *b* consumes **exactly the streams of the scalar run with the
+same coordinate-derived seed** — never a shared batch stream, never a
+re-partitioned one:
+
+* the timed network stream of run *b* is seeded ``seed_b``, and the
+  policy/filter stream of run *b* is an independent generator also seeded
+  ``seed_b`` — precisely the two streams scalar compilation builds;
+* bulk draws (:meth:`~repro.utils.accel.BlockRng.block`) return the next
+  *k* values of that run's own stream, bit-identical to *k* successive
+  ``random.Random.random()`` calls (``BlockRng`` transplants the MT19937
+  state into ``numpy.random.RandomState``, which implements the same
+  53-bit double derivation; :func:`~repro.utils.accel.get_numpy`
+  self-checks this once per process and disables numpy on any mismatch);
+* array arithmetic mirrors the scalar expressions op for op
+  (``low + span * u``, selective ``* chaos``, ``min(·, δ)``), so the
+  floats — not just the draws — are bit-identical.
+
+Consequences: result JSONL is byte-identical at any ``(workers, chunk,
+backend)`` combination; resuming a campaign with the backend switched
+changes nothing (each row depends only on its own seed); and removing any
+subset of runs from a batch leaves the remaining rows' bytes untouched.
+``tests/engine/test_batch_backend.py`` pins each clause.
+"""
+
+from repro.engine.batch.kernel import cell_key, run_batch
+from repro.engine.batch.plan import (
+    DETERMINISTIC_STRATEGIES,
+    MODE_COLUMNAR,
+    MODE_REPLICATE,
+    MODE_SCALAR,
+    BatchPlan,
+    plan_cell,
+    plan_for_run,
+)
+from repro.engine.batch.scheduler import (
+    ColumnarTimedScheduler,
+    compile_batch_scenario,
+)
+
+__all__ = [
+    "DETERMINISTIC_STRATEGIES",
+    "MODE_COLUMNAR",
+    "MODE_REPLICATE",
+    "MODE_SCALAR",
+    "BatchPlan",
+    "ColumnarTimedScheduler",
+    "cell_key",
+    "compile_batch_scenario",
+    "plan_cell",
+    "plan_for_run",
+    "run_batch",
+]

@@ -1,0 +1,174 @@
+"""Batch planning: classify a campaign cell's executions into one of three
+execution tiers.
+
+One :class:`~repro.campaigns.spec.CampaignSpec` cell is B runs of one
+``(algorithm, model, engine, scenario)`` coordinate differing only in their
+repetition index and derived seed.  :func:`plan_cell` decides, *before* any
+run executes, how much of that structure the batch kernel may exploit:
+
+* :data:`MODE_REPLICATE` — the run outcome is provably seed-independent
+  (no stochastic communication, no randomized coin, only deterministic
+  Byzantine strategies, and — on the timed engine — delivery that cannot
+  miss a deadline).  One representative run executes; its row is cloned
+  per repetition with only ``run_id`` / ``rep`` / ``seed`` patched.  This
+  is the dominant tier for the paper's Table-1 sweeps and delivers the
+  order-of-magnitude batch speedup.
+* :data:`MODE_COLUMNAR` — timed-engine cells whose outcome *does* depend
+  on the seed: each run keeps its own RNG streams (the per-run contract),
+  but they are block-capable (:class:`~repro.utils.accel.BlockRng`), so
+  every round's latency draws collapse into a handful of array ops while
+  the B kernels advance in lockstep.
+* :data:`MODE_SCALAR` — everything else (stochastic lockstep policies,
+  ``async-prel``, randomized coins, unknown Byzantine strategies, the
+  ``REPRO_SLOW_SCHEDULER`` escape hatch): fall back to the per-run scalar
+  oracle, byte for byte.
+
+The classification is deliberately conservative: anything the rules cannot
+prove seed-independent or block-safe drops a tier.  Misclassifying *down*
+costs only speed; the byte-identity suite exists to prove the tiers above
+never misclassify *up*.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.campaigns.spec import RunSpec
+from repro.engine.scheduler import SLOW_SCHEDULER_ENV
+from repro.eventsim.network import NetworkSpec
+from repro.scenarios.spec import CommSpec, ScenarioSpec
+
+__all__ = [
+    "DETERMINISTIC_STRATEGIES",
+    "MODE_COLUMNAR",
+    "MODE_REPLICATE",
+    "MODE_SCALAR",
+    "BatchPlan",
+    "plan_cell",
+    "plan_for_run",
+]
+
+MODE_REPLICATE = "replicate"
+MODE_COLUMNAR = "columnar"
+MODE_SCALAR = "scalar"
+
+#: Registered Byzantine strategies whose payloads do not depend on the
+#: per-run seed.  Every strategy in :data:`repro.faults.STRATEGY_REGISTRY`
+#: today qualifies — even ``noise`` seeds its garbage stream from the
+#: process id, not the run seed — but the whitelist is explicit so a future
+#: seed-driven adversary degrades to the scalar tier instead of silently
+#: replicating one run's luck across a cell.
+DETERMINISTIC_STRATEGIES = frozenset(
+    {
+        "silent",
+        "noise",
+        "equivocator",
+        "vote-flipper",
+        "high-ts-liar",
+        "fake-history-liar",
+        "adaptive-liar",
+    }
+)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """How the batch kernel should execute one cell's runs."""
+
+    mode: str
+    reason: str
+
+
+def _never_bad(comm: CommSpec) -> bool:
+    """True when the good/bad schedule provably has no bad round ≥ 1."""
+    if comm.schedule == "always":
+        return True
+    if comm.schedule == "after":
+        # Rounds are 1-based: good from round ``good_from`` onwards means
+        # round 1 is already good whenever ``good_from <= 1``.
+        return comm.good_from <= 1
+    if comm.schedule == "alternating":
+        return comm.bad_len == 0
+    return False
+
+
+def _comm_deterministic(comm: CommSpec) -> bool:
+    """True when delivery under ``comm`` consumes no per-run randomness."""
+    if comm.kind in ("reliable", "silent"):
+        return True
+    if comm.kind == "good-bad":
+        if comm.bad in ("partition", "silence"):
+            return True
+        # bad="drop" draws a coin per edge in bad rounds only.
+        return _never_bad(comm)
+    return False  # lossy / async-prel draw per edge.
+
+
+def _timed_delivery_deterministic(timing: NetworkSpec) -> bool:
+    """True when no timed latency draw can ever miss a round deadline.
+
+    With GST at time 0 every sample is clamped to δ, so when
+    ``min(max_latency, δ) ≤ Δ`` the deadline test passes for every possible
+    draw — delivery (and therefore the outcome) is independent of the
+    latency stream, even though the stream is still consumed.
+    """
+    if timing.gst > 0:
+        return False
+    max_latency = timing.low if timing.kind == "fixed" else timing.high
+    return min(max_latency, timing.delta) <= timing.round_duration
+
+
+def plan_cell(
+    scenario: ScenarioSpec, engine: str, config: object = None
+) -> BatchPlan:
+    """Classify one ``(scenario, engine, config)`` cell into a batch tier.
+
+    ``config`` is the resolved algorithm's
+    :class:`~repro.core.parameters.GenericConsensusConfig` (or ``None``
+    when unresolved); a randomized coin forces the scalar tier.
+    """
+    if getattr(config, "coin", None) is not None:
+        return BatchPlan(MODE_SCALAR, "randomized coin consumes per-run seed")
+    unknown = [
+        name
+        for name in scenario.byzantine
+        if name not in DETERMINISTIC_STRATEGIES
+    ]
+    if unknown:
+        return BatchPlan(
+            MODE_SCALAR, f"strategy {unknown[0]!r} not proven seed-independent"
+        )
+    comm_det = _comm_deterministic(scenario.comm)
+    if comm_det and engine == "lockstep":
+        return BatchPlan(MODE_REPLICATE, "deterministic lockstep delivery")
+    if engine == "timed":
+        if comm_det and _timed_delivery_deterministic(scenario.timing):
+            return BatchPlan(
+                MODE_REPLICATE, "timed delivery cannot miss a deadline"
+            )
+        if os.environ.get(SLOW_SCHEDULER_ENV, "") not in ("", "0"):
+            return BatchPlan(
+                MODE_SCALAR, "REPRO_SLOW_SCHEDULER forces the heap oracle"
+            )
+        return BatchPlan(MODE_COLUMNAR, "seed-dependent timed delivery")
+    return BatchPlan(MODE_SCALAR, "stochastic lockstep policy")
+
+
+def plan_for_run(run: RunSpec) -> BatchPlan:
+    """The plan for a cell, keyed by one of its runs.
+
+    Resolves the algorithm (through the runner's worker memo, so campaign
+    chunks pay nothing extra) to inspect its config; any resolution or
+    model failure yields the scalar tier, whose per-run oracle produces
+    the proper ``inadmissible`` / ``error`` rows.
+    """
+    from repro.campaigns.runner import _resolve_algorithm_memo
+    from repro.core.types import FaultModel
+
+    try:
+        model = FaultModel(run.n, run.b, run.f)
+        _parameters, config = _resolve_algorithm_memo(run.algorithm, model)
+    except Exception:
+        return BatchPlan(MODE_SCALAR, "algorithm/model resolution failed")
+    return plan_cell(run.scenario, run.engine, config)

@@ -1,0 +1,76 @@
+"""The columnar member of the batch scheduler family.
+
+:class:`ColumnarTimedScheduler` *is* a
+:class:`~repro.engine.scheduler.TimedScheduler` — same deadline sweep, same
+filter semantics, same telemetry spans — whose network and policy streams
+are :class:`~repro.utils.accel.BlockRng` instances.  The timed delivery hot
+path (``_deliver_fast``) already routes every latency draw through
+``sample_fan`` / ``sample_round``, and those methods detect a block-capable
+stream and collapse the round's draws into array ops.  Sharing the sweep
+code — instead of re-implementing it in matrix form — is what makes the
+byte-identity guarantee structural: there is no second delivery algorithm
+to diverge.
+
+:func:`compile_batch_scenario` is the per-cell specialization pass: it runs
+ordinary scenario compilation (placement, crash schedule and the per-round
+delivery filter are resolved **once per batch**, then shared by every run
+of the cell via the compilation memos) and swaps the scheduler for the
+columnar subclass, seeded identically to the scalar one.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import FaultModel
+from repro.engine.scheduler import TimedScheduler
+from repro.scenarios.compile import CompiledScenario, compile_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.utils.accel import BlockRng
+
+__all__ = ["ColumnarTimedScheduler", "compile_batch_scenario"]
+
+
+class ColumnarTimedScheduler(TimedScheduler):
+    """Δ-paced deadline delivery over block-capable RNG streams.
+
+    Pins the heap off regardless of ``REPRO_SLOW_SCHEDULER`` — the batch
+    planner already routes slow-scheduler sessions to the scalar tier, and
+    the columnar tier's array paths live on the fast sweep.
+    """
+
+    def __init__(self, network, *, round_duration=2.5, delivery_filter=None):
+        super().__init__(
+            network,
+            round_duration=round_duration,
+            delivery_filter=delivery_filter,
+            use_heap=False,
+        )
+
+
+def compile_batch_scenario(
+    spec: ScenarioSpec, model: FaultModel, seed: int
+) -> CompiledScenario:
+    """Compile ``spec`` for the timed engine with block-capable streams.
+
+    Stream-for-stream the scalar compilation: the scalar path seeds the
+    network with ``random.Random(seed)`` and the policy/filter stream with
+    an independent ``random.Random(seed)``; this builds both as
+    :class:`BlockRng` objects transplanted from identically seeded
+    generators, so every draw — bulk or scalar — continues the exact same
+    Mersenne-Twister sequences.
+    """
+    network = spec.timing.build(seed, rng=BlockRng(seed))
+    compiled = compile_scenario(
+        spec,
+        model,
+        "timed",
+        seed,
+        network=network,
+        policy_rng=BlockRng(seed),
+    )
+    scalar_scheduler = compiled.scheduler
+    compiled.scheduler = ColumnarTimedScheduler(
+        network,
+        round_duration=spec.timing.round_duration,
+        delivery_filter=scalar_scheduler.delivery_filter,
+    )
+    return compiled

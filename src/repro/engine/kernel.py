@@ -395,6 +395,16 @@ def run_instance(
     kernel.run(
         instance.structure.rounds_for_phases(max_phases), stop_when=stop_when
     )
+    return kernel_outcome(instance, kernel)
+
+
+def kernel_outcome(instance, kernel: ExecutionKernel) -> Outcome:
+    """Package a finished kernel's state as an :class:`Outcome`.
+
+    Shared by :func:`run_instance` and the batch backend's lockstep sweep
+    (which drives many kernels round by round itself and finalizes each one
+    here), so both paths produce structurally identical outcomes.
+    """
     return Outcome(
         parameters=instance.parameters,
         structure=instance.structure,
@@ -408,7 +418,7 @@ def run_instance(
         messages_sent=kernel.messages_sent,
         messages_delivered=kernel.messages_delivered,
         messages_dropped=kernel.messages_dropped,
-        observe=observe,
+        observe=kernel.observe,
         trace=kernel.trace,
         telemetry=kernel.telemetry,
     )

@@ -1,0 +1,165 @@
+"""Optional numpy acceleration with exact scalar-stream fidelity.
+
+The batch backend (:mod:`repro.engine.batch`) vectorizes latency and loss
+draws, but the project's correctness contract is *byte identity with the
+scalar oracle*: every accelerated path must consume and produce exactly the
+same underlying Mersenne-Twister stream as ``random.Random``.  Two pieces
+make that possible:
+
+* :func:`get_numpy` — imports numpy at most once per process, gated by the
+  ``REPRO_NO_NUMPY`` env var, and **self-checks the state transplant** on
+  first use: a ``numpy.random.RandomState`` seeded by transplanting a
+  ``random.Random``'s MT19937 state must reproduce that stream bit for bit
+  (both generators implement the same ``genrand_res53`` double derivation).
+  If the check fails on an exotic numpy build, numpy is treated as absent
+  and every consumer silently falls back to pure python.
+
+* :class:`BlockRng` — a drop-in ``random.Random``-alike exposing the scalar
+  ``random()`` / ``uniform()`` API plus a ``block(k)`` bulk-draw hook.  With
+  numpy available it owns a transplanted ``RandomState`` and serves both
+  APIs from one buffered ``random_sample`` stream; without numpy it wraps a
+  plain ``random.Random``.  Either way the draw sequence is identical to
+  calling ``random.Random(seed).random()`` repeatedly, so code that sampled
+  scalars yesterday can sample blocks today without moving a single draw.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, Optional, Sequence
+
+NUMPY_ENV = "REPRO_NO_NUMPY"
+
+# Buffered draws served per refill on the numpy path.  Large enough to
+# amortize the RandomState call overhead for scalar consumers, small enough
+# that an abandoned buffer costs nothing (unconsumed draws stay queued in
+# order; they are never discarded).
+_BUFFER = 512
+
+_NUMPY: Any = None
+_NUMPY_CHECKED = False
+
+
+def _transplant(np_module: Any, rng: random.Random) -> Any:
+    """Return a ``RandomState`` continuing ``rng``'s MT19937 stream."""
+    version, internal, _gauss = rng.getstate()
+    if version != 3:  # pragma: no cover - future CPython format change
+        raise ValueError(f"unsupported random.Random state version {version}")
+    key, pos = internal[:-1], internal[-1]
+    state = np_module.random.RandomState()
+    state.set_state(("MT19937", np_module.array(key, dtype=np_module.uint32), pos))
+    return state
+
+
+def _self_check(np_module: Any) -> bool:
+    """True iff the transplant reproduces the scalar stream bit for bit."""
+    probe = random.Random(0xC0FFEE)
+    # Burn a few draws so the check covers a mid-stream position, not just
+    # a freshly seeded state.
+    for _ in range(7):
+        probe.random()
+    state = _transplant(np_module, probe)
+    block = state.random_sample(16)
+    return all(float(v) == probe.random() for v in block)
+
+
+def get_numpy() -> Any:
+    """Return the numpy module, or ``None`` when absent/disabled/unfaithful.
+
+    The env var is consulted on every call (tests toggle it); the import and
+    the transplant self-check run once per process.
+    """
+    if os.environ.get(NUMPY_ENV):
+        return None
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        _NUMPY_CHECKED = True
+        try:
+            import numpy  # noqa: PLC0415 - optional accelerator
+        except ImportError:
+            numpy = None
+        if numpy is not None and not _self_check(numpy):  # pragma: no cover
+            numpy = None
+        _NUMPY = numpy
+    return _NUMPY
+
+
+class BlockRng:
+    """``random.Random``-compatible stream with a bulk ``block(k)`` hook.
+
+    Scalar consumers call ``random()`` / ``uniform()`` exactly as they would
+    on ``random.Random``; vectorized consumers call ``block(k)`` and get the
+    next *k* uniforms of the same stream as a numpy array (numpy path) or a
+    list of floats (fallback path).  Interleaving the two APIs is safe: the
+    numpy path serves scalars from a buffered prefix of the stream and
+    ``block`` drains that buffer before drawing fresh values, so stream
+    order is preserved draw for draw.
+    """
+
+    __slots__ = ("_np", "_state", "_scalar", "_buf", "_pos")
+
+    def __init__(self, seed: "int | random.Random") -> None:
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        np_module = get_numpy()
+        self._np = np_module
+        if np_module is not None:
+            self._state = _transplant(np_module, rng)
+            self._scalar = None
+            self._buf = np_module.empty(0)
+            self._pos = 0
+        else:
+            self._state = None
+            self._scalar = rng
+            self._buf = None
+            self._pos = 0
+
+    @property
+    def accelerated(self) -> bool:
+        """True when draws are served by numpy."""
+        return self._np is not None
+
+    def random(self) -> float:
+        """Next uniform in [0, 1), identical to ``random.Random.random``."""
+        scalar = self._scalar
+        if scalar is not None:
+            return scalar.random()
+        if self._pos >= len(self._buf):
+            self._buf = self._state.random_sample(_BUFFER)
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        return float(value)
+
+    def uniform(self, a: float, b: float) -> float:
+        """``a + (b - a) * random()`` — same float ops as ``random.Random``."""
+        return a + (b - a) * self.random()
+
+    def block(self, k: int) -> Sequence[float]:
+        """The next *k* uniforms of the stream as an array (or list)."""
+        scalar = self._scalar
+        if scalar is not None:
+            return [scalar.random() for _ in range(k)]
+        buffered = len(self._buf) - self._pos
+        if buffered >= k:
+            out = self._buf[self._pos : self._pos + k]
+            self._pos += k
+            return out
+        head = self._buf[self._pos :]
+        self._pos = len(self._buf)
+        tail = self._state.random_sample(k - buffered)
+        if buffered == 0:
+            return tail
+        return self._np.concatenate((head, tail))
+
+
+def block_stream(rng: object) -> Optional[BlockRng]:
+    """Return ``rng`` as a block-capable stream, or ``None``.
+
+    The network sampling hot paths use this to route bulk draws through
+    ``block(k)`` when the scheduler installed a :class:`BlockRng`, without
+    eventsim importing anything from the batch backend.
+    """
+    if isinstance(rng, BlockRng) and rng.accelerated:
+        return rng
+    return None

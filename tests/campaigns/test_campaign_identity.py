@@ -1,16 +1,20 @@
 """Campaign rows are byte-identical across every fast-path configuration.
 
 The PR-5 optimizations (heap-free timed delivery, batched latency sampling,
-policy-reported drops, chunked dispatch, worker-side memos) all promise the
-same thing: not one byte of any result row changes.  This suite pins that
-down end to end on the ``gauntlet`` campaign — every registered scenario ×
-every algorithm class × both engines — by diffing the canonical JSONL
-against a baseline produced with ``REPRO_SLOW_SCHEDULER=1`` (the legacy
-event-heap delivery), at workers ∈ {1, 4} and chunk ∈ {1, 8}.
+policy-reported drops, chunked dispatch, worker-side memos) and the PR-7
+batch backend (replicated / columnar / scalar execution tiers) all promise
+the same thing: not one byte of any result row changes.  This suite pins
+that down end to end on the ``gauntlet`` campaign — every registered
+scenario × every algorithm class × both engines — by diffing the canonical
+JSONL against a baseline produced with ``REPRO_SLOW_SCHEDULER=1`` (the
+legacy event-heap delivery), at workers ∈ {1, 4} and chunk ∈ {1, 8},
+including the batch backend with and without numpy and a resume that
+switches backends mid-campaign.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -21,8 +25,19 @@ GAUNTLET = BUILTIN_CAMPAIGNS["gauntlet"]
 
 
 def canonical(rows):
-    """One deterministic string per row list (already run_id-sorted)."""
-    return [json.dumps(row, sort_keys=True) for row in rows]
+    """One deterministic string per row list (already run_id-sorted).
+
+    Underscore-prefixed keys are volatile diagnostics (``_elapsed_ms``,
+    ``_pid``, ``_backend``) that the result store strips before
+    serialization — strip them here too, matching ``row_to_json``.
+    """
+    return [
+        json.dumps(
+            {k: v for k, v in row.items() if not k.startswith("_")},
+            sort_keys=True,
+        )
+        for row in rows
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +84,53 @@ def test_slow_scheduler_survives_worker_processes(slow_baseline):
     finally:
         del os.environ["REPRO_SLOW_SCHEDULER"]
     assert canonical(rows) == slow_baseline
+
+
+@pytest.mark.parametrize(
+    "workers,chunk", [(1, 1), (1, 8), (4, 1), (4, 8)]
+)
+def test_batch_backend_identical(slow_baseline, workers, chunk):
+    """The batch kernel reproduces the heap oracle at every dispatch shape."""
+    rows = run_campaign(
+        GAUNTLET, workers=workers, chunk=chunk, backend="batch"
+    )
+    assert canonical(rows) == slow_baseline
+
+
+def test_batch_backend_identical_without_numpy(slow_baseline):
+    """The pure-python block fallback is byte-identical too."""
+    import os
+
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        rows = run_campaign(GAUNTLET, workers=4, chunk=8, backend="batch")
+    finally:
+        del os.environ["REPRO_NO_NUMPY"]
+    assert canonical(rows) == slow_baseline
+
+
+def test_batch_backend_identical_with_repetitions(slow_baseline):
+    """Multi-repetition cells (the replicate tier's raison d'être) agree."""
+    spec = dataclasses.replace(GAUNTLET, repetitions=2)
+    scalar = run_campaign(spec, workers=1, backend="scalar")
+    batch = run_campaign(spec, workers=4, chunk=8, backend="batch")
+    assert canonical(batch) == canonical(scalar)
+
+
+def test_resume_with_backend_switched(slow_baseline):
+    """A campaign recorded under one backend completes under another.
+
+    Rows 0..39 play the part of a checkpoint written by a scalar run; the
+    batch backend finishes the remainder and the merged file matches the
+    single-shot baseline byte for byte.
+    """
+    from repro.campaigns import iter_campaign
+
+    head = slow_baseline[:40]
+    skip = {json.loads(line)["run_id"] for line in head}
+    tail = list(
+        iter_campaign(GAUNTLET, workers=1, skip_run_ids=skip, backend="batch")
+    )
+    merged = head + canonical(tail)
+    merged.sort(key=lambda line: json.loads(line)["run_id"])
+    assert merged == slow_baseline
