@@ -374,6 +374,146 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from repro.smr import ServeConfig, WorkloadSpec
+
+    config = ServeConfig(
+        algorithm=args.algorithm,
+        n=args.n,
+        b=args.b,
+        f=args.f,
+        scenario=args.scenario,
+        engine=args.engine,
+        batch=args.batch,
+        batch_bytes=args.batch_bytes,
+        depth=args.depth,
+        seed=args.seed,
+        max_phases=args.max_phases,
+    )
+    workload = WorkloadSpec(
+        clients=args.clients,
+        rate=args.rate,
+        duration=args.duration,
+        arrival=args.arrival,
+        seed=args.seed,
+    )
+    return config, workload
+
+
+def _cmd_smr_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import ScenarioInapplicable
+    from repro.smr import run_serve
+
+    config, workload = _serve_config(args)
+    try:
+        report = run_serve(config, workload)
+    except (KeyError, ValueError) as exc:
+        if isinstance(exc, ScenarioInapplicable):
+            print(f"scenario inapplicable: {exc}", file=sys.stderr)
+        else:
+            print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_row(), sort_keys=True))
+        return 0 if report.digests_agree and not report.stalled else 1
+    print(
+        f"serve: {config.algorithm} n={config.n} b={config.b} f={config.f} "
+        f"[{report.scenario}] ({config.engine}, seed {config.seed})"
+    )
+    print(
+        f"  load        : {workload.arrival} rate {workload.rate:g}/t "
+        f"x {workload.duration:g}t over {workload.clients} client(s)"
+    )
+    print(
+        f"  pipeline    : batch ≤ {config.batch}"
+        + (f" (≤ {config.batch_bytes}B)" if config.batch_bytes else "")
+        + f", depth {config.depth}"
+    )
+    print(
+        f"  commands    : {report.offered} offered, "
+        f"{report.committed_commands} committed in "
+        f"{report.slots_committed} slot(s) "
+        f"(mean batch {report.mean_batch_size:.2f})"
+    )
+    print(
+        f"  consensus   : {report.retries} retried, "
+        f"{report.rejected} rejected"
+        + ("  ** STALLED **" if report.stalled else "")
+    )
+    print(
+        f"  state       : digests agree {report.digests_agree} "
+        f"(log {report.log_digest[:16]})"
+    )
+    print(
+        f"  throughput  : {report.throughput:,.0f} cmd/s wall "
+        f"({report.simulated_duration:g} simulated time units)"
+    )
+    if report.latency:
+        lat = report.latency
+        print(
+            f"  latency     : p50 {lat['p50']:.3f}  p95 {lat['p95']:.3f}  "
+            f"p99 {lat['p99']:.3f}  mean {lat['mean']:.3f}  "
+            f"max {lat['max']:.3f} (simulated units)"
+        )
+    return 0 if report.digests_agree and not report.stalled else 1
+
+
+def _cmd_smr_sweep(args: argparse.Namespace) -> int:
+    from repro.smr import sweep_serve
+
+    config, workload = _serve_config(args)
+    rates = [float(rate) for rate in args.rates.split(",") if rate]
+    scenarios = (
+        [name for name in args.scenarios.split(",") if name]
+        if args.scenarios
+        else None
+    )
+    rows = sweep_serve(
+        config, workload, rates=rates, scenarios=scenarios, out=args.out
+    )
+    headers = [
+        "cell", "status", "offered", "committed", "slots",
+        "retries", "p50", "p99", "digests",
+    ]
+    table_rows = []
+    for row in rows:
+        if row["status"] == "inapplicable":
+            table_rows.append(
+                [row["cell"], row["status"]] + ["-"] * 7
+            )
+            continue
+        table_rows.append([
+            row["cell"],
+            row["status"],
+            row["offered"],
+            row["committed_commands"],
+            row["slots_committed"],
+            row["retries"],
+            f"{row['latency_p50']:.3f}" if row["latency_p50"] is not None else "-",
+            f"{row['latency_p99']:.3f}" if row["latency_p99"] is not None else "-",
+            "ok" if row["digests_agree"] else "DIVERGED",
+        ])
+    print(format_table(headers, table_rows))
+    if args.out:
+        print(f"\nwrote {len(rows)} row(s) to {args.out}")
+    bad = [
+        row for row in rows
+        if row["status"] == "stalled"
+        or (row["status"] == "ok" and not row["digests_agree"])
+    ]
+    return 1 if bad else 0
+
+
+def _cmd_smr(args: argparse.Namespace) -> int:
+    handlers = {
+        "serve": _cmd_smr_serve,
+        "sweep": _cmd_smr_sweep,
+    }
+    return handlers[args.smr_command](args)
+
+
 def _load_campaign(source: str):
     """A campaign spec from a file path or a built-in name."""
     from repro.campaigns import BUILTIN_CAMPAIGNS, load_spec
@@ -833,6 +973,74 @@ def build_parser() -> argparse.ArgumentParser:
         "batch.* counters and the span breakdown",
     )
 
+    smr = sub.add_parser(
+        "smr",
+        help="replicated state-machine serving (batched, pipelined "
+        "consensus under open-loop load)",
+    )
+    smrsub = smr.add_subparsers(dest="smr_command", required=True)
+
+    def add_serve_arguments(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--algorithm", default="pbft",
+                            help="builder name or class-N (default pbft)")
+        target.add_argument("--n", type=int, default=4)
+        target.add_argument("--b", type=int, default=1)
+        target.add_argument("--f", type=int, default=0)
+        target.add_argument("--scenario", default="fault-free",
+                            help="fault scenario name (default fault-free)")
+        target.add_argument("--engine", choices=["lockstep", "timed"],
+                            default="lockstep")
+        target.add_argument("--batch", type=positive_int, default=8,
+                            metavar="B",
+                            help="max commands per slot (default 8)")
+        target.add_argument("--batch-bytes", type=positive_int, default=None,
+                            metavar="BYTES",
+                            help="additional per-batch payload cap")
+        target.add_argument("--depth", type=positive_int, default=2,
+                            metavar="D",
+                            help="pipeline window: slots in flight "
+                            "(default 2)")
+        target.add_argument("--clients", type=positive_int, default=4)
+        target.add_argument("--rate", type=float, default=200.0,
+                            help="aggregate arrival rate per simulated "
+                            "time unit (default 200)")
+        target.add_argument("--duration", type=float, default=1.0,
+                            help="workload length in simulated time units")
+        target.add_argument("--arrival", choices=["poisson", "fixed"],
+                            default="poisson")
+        target.add_argument("--seed", type=int, default=0)
+        target.add_argument("--max-phases", type=int, default=None)
+
+    serve = smrsub.add_parser(
+        "serve",
+        help="serve one open-loop workload and report throughput + "
+        "request-latency percentiles",
+    )
+    add_serve_arguments(serve)
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as one JSON object (CI digest checks)",
+    )
+
+    ssweep = smrsub.add_parser(
+        "sweep",
+        help="serve campaign cells over load rates x fault scenarios",
+    )
+    add_serve_arguments(ssweep)
+    ssweep.add_argument(
+        "--rates",
+        default="50,200,800",
+        help="comma-separated load axis (default 50,200,800)",
+    )
+    ssweep.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: every registered "
+        "scenario)",
+    )
+    ssweep.add_argument("--out", default=None, help="results JSONL path")
+
     campaign = sub.add_parser(
         "campaign", help="declarative scenario sweeps (run/report/list)"
     )
@@ -922,6 +1130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ben-or": _cmd_ben_or,
         "scenario": _cmd_scenario,
         "profile": _cmd_profile,
+        "smr": _cmd_smr,
         "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)

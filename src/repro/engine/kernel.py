@@ -301,6 +301,11 @@ class ExecutionKernel:
         self._messages_sent += sent
         self._messages_delivered += delivered
         self._messages_dropped += delivery.dropped
+        if self._telemetry is not None:
+            # Per-round delivery volume as a histogram: instrumented runs
+            # get p50/p95/p99 columns in the phase table for free.  The
+            # un-instrumented path never reaches this branch.
+            self._telemetry.observe("round.delivered", float(delivered))
         if delivery.end_time is not None:
             self._simulated_time = delivery.end_time
         self._next_round += 1

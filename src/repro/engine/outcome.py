@@ -56,6 +56,18 @@ class Outcome:
         return {decision.value for decision in self.decisions.values()}
 
     @property
+    def decided_value(self) -> Optional[Value]:
+        """The single agreed value, or ``None`` (no decision / disagreement).
+
+        The SMR serving loop commits whole batches through this: one value
+        per slot when agreement held, ``None`` routes to retry handling.
+        """
+        values = self.decided_values
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+    @property
     def decided_value_by_process(self) -> Dict[ProcessId, Value]:
         return {pid: decision.value for pid, decision in self.decisions.items()}
 

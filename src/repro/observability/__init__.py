@@ -32,6 +32,7 @@ from repro.observability.telemetry import (
     NullTelemetry,
     Telemetry,
     format_phase_table,
+    percentile,
 )
 
 __all__ = [
@@ -42,5 +43,6 @@ __all__ = [
     "Telemetry",
     "format_phase_table",
     "load_row_durations",
+    "percentile",
     "read_events",
 ]

@@ -22,6 +22,7 @@ span's total, so a phase table can report disjoint time attribution while
 
 from __future__ import annotations
 
+import math
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
@@ -30,7 +31,28 @@ __all__ = [
     "NullTelemetry",
     "Telemetry",
     "format_phase_table",
+    "percentile",
 ]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (``0 ≤ q ≤ 1``) of non-empty ``samples``.
+
+    Linear interpolation between closest ranks (numpy's default method),
+    over a sorted copy — callers holding pre-sorted data may pass it
+    directly since sorting sorted input is cheap.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = (len(ordered) - 1) * q
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
 
 class _SpanTimer:
@@ -132,13 +154,27 @@ class Telemetry:
         """
         return sum(record[2] for record in self._spans.values())
 
+    @property
+    def histogram_names(self) -> List[str]:
+        return list(self._histograms)
+
     def histogram_stats(self, name: str) -> Dict[str, float]:
-        samples = self._histograms[name]
+        """Summary stats of one histogram, tail percentiles included.
+
+        ``p50``/``p95``/``p99`` interpolate between closest ranks (see
+        :func:`percentile`) — the latency columns serve reports and the
+        phase table render.
+        """
+        ordered = sorted(self._histograms[name])
+        count = len(ordered)
         return {
-            "count": len(samples),
-            "min": min(samples),
-            "max": max(samples),
-            "mean": sum(samples) / len(samples),
+            "count": count,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / count,
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "p99": percentile(ordered, 0.99),
         }
 
     def snapshot(self) -> Dict[str, object]:
@@ -224,6 +260,10 @@ class NullTelemetry:
     def span_names(self) -> List[str]:
         return []
 
+    @property
+    def histogram_names(self) -> List[str]:
+        return []
+
     def total_span_seconds(self) -> float:
         return 0.0
 
@@ -245,7 +285,10 @@ def format_phase_table(
     Phases are ordered by descending self time unless ``order`` pins an
     explicit sequence (unknown names are ignored, unlisted spans appended).
     With ``wall_seconds``, a share column and a coverage footer report how
-    much of the measured wall clock the spans account for.
+    much of the measured wall clock the spans account for.  When the
+    registry holds histograms, a second table follows with each one's
+    count, mean and p50/p95/p99/max — so ``repro profile`` (and any other
+    phase-table consumer) surfaces tail percentiles, not just span times.
     """
     from repro.analysis.reporting import format_table
 
@@ -277,5 +320,20 @@ def format_phase_table(
         table += (
             f"\nspans cover {covered * 1000:.3f} ms of "
             f"{wall_seconds * 1000:.3f} ms wall ({covered / wall_seconds:.1%})"
+        )
+    histograms = sorted(telemetry.histogram_names)
+    if histograms:
+        rows = []
+        for name in histograms:
+            stats = telemetry.histogram_stats(name)
+            rows.append(
+                [name, int(stats["count"])]
+                + [
+                    f"{stats[column]:.4g}"
+                    for column in ("mean", "p50", "p95", "p99", "max")
+                ]
+            )
+        table += "\n" + format_table(
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"], rows
         )
     return table

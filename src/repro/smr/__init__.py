@@ -9,6 +9,13 @@ log order.
 from repro.smr.log import LogEntry, ReplicatedLog
 from repro.smr.machine import Command, CounterMachine, KeyValueStore, StateMachine
 from repro.smr.replica import ReplicatedService, SmrReport
+from repro.smr.serve import (
+    ServeConfig,
+    ServeReport,
+    WorkloadSpec,
+    run_serve,
+    sweep_serve,
+)
 
 __all__ = [
     "Command",
@@ -17,6 +24,11 @@ __all__ = [
     "LogEntry",
     "ReplicatedLog",
     "ReplicatedService",
+    "ServeConfig",
+    "ServeReport",
     "SmrReport",
     "StateMachine",
+    "WorkloadSpec",
+    "run_serve",
+    "sweep_serve",
 ]

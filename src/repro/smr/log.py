@@ -24,19 +24,38 @@ class ReplicatedLog:
     Slots are numbered from 0.  Entries may only be committed once; a
     conflicting commit raises — it would mean consensus agreement was
     violated upstream.
+
+    Both watermarks are maintained incrementally on :meth:`commit`, so
+    ``next_slot`` and ``prefix_length`` are O(1) however many slots have
+    been committed (service loops read them once per slot; a ``max()``
+    scan here made long runs quadratic in committed slots).
     """
 
     def __init__(self) -> None:
         self._entries: Dict[int, LogEntry] = {}
+        # Highest committed slot (next_slot = _max_slot + 1).
+        self._max_slot = -1
+        # Length of the gap-free prefix starting at slot 0 — the in-order
+        # apply watermark pipelined commits advance through.
+        self._prefix = 0
 
     def commit(self, entry: LogEntry) -> None:
         existing = self._entries.get(entry.slot)
-        if existing is not None and existing.command != entry.command:
-            raise ValueError(
-                f"slot {entry.slot} already committed with "
-                f"{existing.command!r}, refusing {entry.command!r}"
-            )
-        self._entries.setdefault(entry.slot, entry)
+        if existing is not None:
+            if existing.command != entry.command:
+                raise ValueError(
+                    f"slot {entry.slot} already committed with "
+                    f"{existing.command!r}, refusing {entry.command!r}"
+                )
+            return  # idempotent re-commit: watermarks already account for it
+        self._entries[entry.slot] = entry
+        if entry.slot > self._max_slot:
+            self._max_slot = entry.slot
+        # An out-of-order commit lands beyond the prefix and advances
+        # nothing; the commit that fills the gap walks across every
+        # already-buffered slot, so the total walk is O(1) amortized.
+        while self._prefix in self._entries:
+            self._prefix += 1
 
     def entry(self, slot: int) -> Optional[LogEntry]:
         return self._entries.get(slot)
@@ -44,14 +63,18 @@ class ReplicatedLog:
     @property
     def next_slot(self) -> int:
         """First unused slot index."""
-        return max(self._entries) + 1 if self._entries else 0
+        return self._max_slot + 1
+
+    @property
+    def prefix_length(self) -> int:
+        """Slots committed gap-free from 0 — the in-order apply watermark."""
+        return self._prefix
 
     def committed_prefix(self) -> Iterator[LogEntry]:
         """Entries from slot 0 up to the first gap, in order."""
-        slot = 0
-        while slot in self._entries:
-            yield self._entries[slot]
-            slot += 1
+        entries = self._entries
+        for slot in range(self._prefix):
+            yield entries[slot]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -20,8 +20,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.algorithms.registry import AlgorithmSpec
-from repro.core.run import ByzantineSpec, run_consensus
 from repro.core.types import ProcessId
+from repro.engine.assembly import build_instance
+from repro.engine.kernel import OBSERVE_METRICS, run_instance
+from repro.engine.scheduler import LockstepScheduler
+from repro.faults.registry import ByzantineSpec
 from repro.smr.log import LogEntry, ReplicatedLog
 from repro.smr.machine import Command, StateMachine
 
@@ -118,12 +121,20 @@ class ReplicatedService:
         """Decide and apply one log slot; returns the committed entry."""
         self._gossip()
         proposals = self._proposals()
-        outcome = run_consensus(
+        # Slot execution runs on the unified kernel's trace-free metrics
+        # mode: decisions and message counters come straight off the kernel,
+        # no RoundRecord/trace objects are built per slot.
+        instance = build_instance(
             self._spec.parameters,
             proposals,
             config=self._spec.config,
             byzantine=self._byzantine,
+        )
+        outcome = run_instance(
+            instance,
+            LockstepScheduler(),
             max_phases=self._max_phases,
+            observe=OBSERVE_METRICS,
         )
         if not outcome.decisions:
             return None
@@ -146,8 +157,8 @@ class ReplicatedService:
             if command in queue:
                 queue.remove(command)
         self._stats["phases"] += outcome.phases_to_last_decision or 0
-        self._stats["rounds"] += outcome.result.trace.rounds_executed
-        self._stats["messages"] += outcome.result.trace.total_messages_sent
+        self._stats["rounds"] += outcome.rounds_executed
+        self._stats["messages"] += outcome.messages_sent
         return entry
 
     def run_until_drained(self, max_slots: int = 100) -> SmrReport:

@@ -52,3 +52,50 @@ def test_ben_or(capsys):
     assert main(["ben-or", "--n", "3", "--seeds", "5"]) == 0
     out = capsys.readouterr().out
     assert "phases to decide" in out
+
+
+def test_smr_serve(capsys):
+    code = main([
+        "smr", "serve", "--rate", "80", "--duration", "1",
+        "--batch", "8", "--depth", "4", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "committed" in out
+    assert "p50" in out and "p99" in out
+    assert "digests agree True" in out
+
+
+def test_smr_serve_json_digest_stable_across_pipelining(capsys):
+    import json
+
+    common = ["--rate", "80", "--duration", "1", "--seed", "3", "--json"]
+    assert main(["smr", "serve", "--batch", "1", "--depth", "1"] + common) == 0
+    baseline = json.loads(capsys.readouterr().out)
+    assert main(["smr", "serve", "--batch", "8", "--depth", "4"] + common) == 0
+    piped = json.loads(capsys.readouterr().out)
+    assert piped["log_digest"] == baseline["log_digest"]
+    assert piped["digest"] == baseline["digest"]
+    assert piped["latency_p99"] < baseline["latency_p99"]
+
+
+def test_smr_serve_inapplicable(capsys):
+    code = main([
+        "smr", "serve", "--algorithm", "pbft", "--n", "7", "--b", "2",
+        "--f", "2", "--rate", "10", "--duration", "0.2",
+    ])
+    assert code == 2
+    assert "inapplicable" in capsys.readouterr().err
+
+
+def test_smr_sweep(capsys, tmp_path):
+    out_path = tmp_path / "serve.jsonl"
+    code = main([
+        "smr", "sweep", "--duration", "0.5", "--rates", "20,40",
+        "--scenarios", "fault-free,worst_case", "--seed", "3",
+        "--out", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serve|worst_case|rate40" in out
+    assert out_path.read_text().count("\n") == 4

@@ -9,7 +9,37 @@ from repro.observability import (
     NullTelemetry,
     Telemetry,
     format_phase_table,
+    percentile,
 )
+
+
+class TestPercentile:
+    def test_closest_rank_interpolation(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0.0) == 10.0
+        assert percentile(samples, 1.0) == 40.0
+        assert percentile(samples, 0.5) == pytest.approx(25.0)
+        assert percentile(samples, 0.25) == pytest.approx(17.5)
+
+    def test_single_sample_is_every_quantile(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([7.0], q) == 7.0
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_input_is_not_mutated(self):
+        samples = [3.0, 1.0, 2.0]
+        percentile(samples, 0.5)
+        assert samples == [3.0, 1.0, 2.0]
+
+    def test_empty_and_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
 
 
 class TestScalarInstruments:
@@ -30,7 +60,23 @@ class TestScalarInstruments:
         for value in (1.0, 2.0, 3.0):
             tel.observe("latency", value)
         stats = tel.histogram_stats("latency")
-        assert stats == {"count": 3, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert stats == {
+            "count": 3,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+            "p50": 2.0,
+            "p95": pytest.approx(2.9),
+            "p99": pytest.approx(2.98),
+        }
+
+    def test_histogram_names(self):
+        tel = Telemetry()
+        assert tel.histogram_names == []
+        tel.observe("a", 1.0)
+        tel.observe("b", 2.0)
+        assert tel.histogram_names == ["a", "b"]
+        assert NULL_TELEMETRY.histogram_names == []
 
     def test_snapshot_is_json_serializable(self):
         tel = Telemetry()
@@ -199,3 +245,17 @@ class TestFormatPhaseTable:
         assert "share" in table.splitlines()[0]
         assert "spans cover" in table.splitlines()[-1]
         assert "75.0%" in table.splitlines()[-1]  # 6 ms of 8 ms wall
+
+    def test_histograms_render_percentile_table(self):
+        tel = self._telemetry()
+        for value in range(1, 101):
+            tel.observe("request_latency", float(value))
+        table = format_phase_table(tel)
+        assert "histogram" in table
+        assert "request_latency" in table
+        # p50/p95/p99 of 1..100 under closest-rank interpolation.
+        for column in ("50.5", "95.05", "99.01"):
+            assert column in table
+
+    def test_no_histograms_no_histogram_table(self):
+        assert "histogram" not in format_phase_table(self._telemetry())

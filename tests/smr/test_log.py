@@ -47,3 +47,62 @@ def test_committed_prefix_stops_at_gap():
 def test_phases_metadata():
     entry = LogEntry(0, ("a",), phases=2)
     assert entry.phases == 2
+
+
+class TestOutOfOrderCommit:
+    """Regression: both watermarks stay correct under pipelined commits.
+
+    ``next_slot`` used to re-scan ``max(slots)`` on every read, which made
+    service loops quadratic in committed slots; the incremental watermarks
+    must agree with the scan under any commit order.
+    """
+
+    def test_gap_then_fill_advances_prefix(self):
+        log = ReplicatedLog()
+        log.commit(LogEntry(2, ("c",)))
+        log.commit(LogEntry(1, ("b",)))
+        assert log.prefix_length == 0  # slot 0 still missing
+        assert log.next_slot == 3
+        log.commit(LogEntry(0, ("a",)))
+        # Filling the gap walks across the buffered slots in one step.
+        assert log.prefix_length == 3
+        assert [e.command for e in log.committed_prefix()] == [
+            ("a",), ("b",), ("c",),
+        ]
+
+    def test_reverse_order_commit(self):
+        log = ReplicatedLog()
+        for slot in reversed(range(50)):
+            log.commit(LogEntry(slot, (slot,)))
+            assert log.next_slot == 50
+        assert log.prefix_length == 50
+
+    def test_interleaved_order_matches_scan(self):
+        import random
+
+        rng = random.Random(7)
+        slots = list(range(200))
+        rng.shuffle(slots)
+        log = ReplicatedLog()
+        committed = set()
+        for slot in slots:
+            log.commit(LogEntry(slot, (slot,)))
+            committed.add(slot)
+            # The incremental watermarks equal the O(n) definitions.
+            assert log.next_slot == max(committed) + 1
+            prefix = 0
+            while prefix in committed:
+                prefix += 1
+            assert log.prefix_length == prefix
+        assert [e.command for e in log.committed_prefix()] == [
+            (slot,) for slot in range(200)
+        ]
+
+    def test_idempotent_recommit_does_not_move_watermarks(self):
+        log = ReplicatedLog()
+        log.commit(LogEntry(0, ("a",)))
+        log.commit(LogEntry(2, ("c",)))
+        before = (log.next_slot, log.prefix_length, len(log))
+        log.commit(LogEntry(0, ("a",)))
+        log.commit(LogEntry(2, ("c",)))
+        assert (log.next_slot, log.prefix_length, len(log)) == before

@@ -57,6 +57,95 @@ class TestByzantineService:
             assert machine.get("k") == "v"
 
 
+class _LegacyService(ReplicatedService):
+    """The pre-migration slot driver: legacy ``run_consensus`` per slot.
+
+    Identical queue/gossip/commit logic (inherited); only the consensus
+    call differs — the deprecated full-trace wrapper instead of the
+    kernel's metrics-mode ``run_instance``.  The parity test below pins
+    that the migration changed *how* slots execute, not *what* they
+    decide or report.
+    """
+
+    def run_slot(self):
+        from repro.core.run import run_consensus
+        from repro.smr.log import LogEntry
+
+        self._gossip()
+        proposals = self._proposals()
+        outcome = run_consensus(
+            self._spec.parameters,
+            proposals,
+            config=self._spec.config,
+            byzantine=self._byzantine,
+            max_phases=self._max_phases,
+        )
+        if not outcome.decisions:
+            return None
+        values = outcome.decided_values
+        assert len(values) == 1
+        (command,) = values
+        slot = min(log.next_slot for log in self.logs.values())
+        entry = LogEntry(
+            slot=slot, command=command, phases=outcome.phases_to_last_decision
+        )
+        self._committed.add(command)
+        for pid in self._honest:
+            self.logs[pid].commit(entry)
+            if command != ("noop",):
+                self.machines[pid].apply(command)
+            queue = self._pending[pid]
+            if command in queue:
+                queue.remove(command)
+        trace = outcome.result.trace
+        self._stats["phases"] += outcome.phases_to_last_decision or 0
+        self._stats["rounds"] += trace.rounds_executed
+        self._stats["messages"] += trace.total_messages_sent
+        return entry
+
+
+class TestLegacyParity:
+    """The kernel-path service matches a legacy run_consensus replay."""
+
+    COMMANDS = [
+        ("set", "x", 1),
+        ("set", "y", 2),
+        ("set", "x", 3),
+        ("del", "y"),
+        ("set", "z", "zz"),
+    ]
+
+    def _drive(self, service):
+        for command in self.COMMANDS:
+            service.submit(command)
+        report = service.run_until_drained()
+        log = next(iter(service.logs.values()))
+        commands = [entry.command for entry in log.committed_prefix()]
+        phases = [entry.phases for entry in log.committed_prefix()]
+        digest = next(iter(service.machines.values())).digest()
+        return report, commands, phases, digest
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: (build_paxos(3), {}),
+            lambda: (build_pbft(4), {3: "equivocator"}),
+            lambda: (build_pbft(4), {3: "silent"}),
+        ],
+        ids=["paxos-benign", "pbft-equivocator", "pbft-silent"],
+    )
+    def test_reports_and_logs_identical(self, build):
+        spec, byzantine = build()
+        new = ReplicatedService(spec, KeyValueStore, byzantine=byzantine)
+        old = _LegacyService(spec, KeyValueStore, byzantine=byzantine)
+        new_report, new_commands, new_phases, new_digest = self._drive(new)
+        old_report, old_commands, old_phases, old_digest = self._drive(old)
+        assert new_report == old_report
+        assert new_commands == old_commands
+        assert new_phases == old_phases
+        assert new_digest == old_digest
+
+
 class TestReport:
     def test_phases_per_slot(self):
         service = ReplicatedService(build_paxos(3), KeyValueStore)
