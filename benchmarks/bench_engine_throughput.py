@@ -41,6 +41,17 @@ When the acceptance cell is measured, the report additionally carries a
 ``"profile"`` section (the ``profile-otr-n30`` arm): the cell's
 phase-level span breakdown under ``observe="profile"`` on both engines.
 It is informational and never consulted by the ``--check`` gate.
+
+The ``cstate-*`` cells are **columnar-state arms**: timed sweep-scale
+coordinates with seed-dependent delivery that the PR-9 planner routes to
+the columnar-state tier (the whole generic algorithm as one
+``(runs × processes)`` array program).  Each batch sample records the tier
+the planner assigned (``"tier"``), and when ``--check`` diffs a
+columnar-state arm against a committed figure produced by a *different*
+tier — e.g. ``benchmarks/baselines/BENCH_engine_pr8.json``, the parent
+commit's per-run columnar figures — the arm must reach
+``COLUMNAR_STATE_SPEEDUP`` (3x) its committed rate instead of the ordinary
+tolerance rule.  Same-tier baselines gate on ``--tolerance`` as usual.
 """
 
 from __future__ import annotations
@@ -92,6 +103,26 @@ BACKEND_CELLS = {
     "table1-fab-n6-byz": ("fab-paxos", (6, 1, 0), "worst_case"),
     "scenario-partition-pbft-n10": ("pbft", (10, 3, 0), "partition_heal"),
 }
+
+#: Columnar-state cells: timed-engine sweep-scale coordinates whose
+#: delivery is seed-dependent but whose generic algorithm the planner can
+#: prove expressible as one (runs × processes) array program.  Backend
+#: arms only (scalar oracle vs batch), timed engine only — their lockstep
+#: siblings would replicate.  The same coordinates ran on the per-run
+#: columnar tier before PR 9, so diffing their batch arms against a
+#: columnar-tier baseline measures the array program itself.
+COLUMNAR_STATE_CELLS = {
+    "cstate-otr-n30-flaky": ("one-third-rule", (30, 0, 9), "flaky_gst"),
+    "cstate-otr-n30-lossy": ("one-third-rule", (30, 0, 9), "lossy_channel"),
+    "cstate-class2-n21-flaky": ("class-2", (21, 2, 2), "flaky_gst"),
+    "cstate-class3-n21-lossy": ("class-3", (21, 2, 2), "lossy_channel"),
+}
+
+#: The columnar-state gate: a batch arm the planner runs columnar-state
+#: must reach 3x a committed figure that a *different* tier produced
+#: (recorded per sample under ``"tier"``; absent in pre-PR-9 reports,
+#: which also counts as a different tier).
+COLUMNAR_STATE_SPEEDUP = 3.0
 
 
 def make_runner(
@@ -158,12 +189,22 @@ def make_runner(
     return run
 
 
-def make_backend_runner(cell: str, engine: str, backend: str) -> Callable[[], None]:
-    """One closure dispatching a 64-run campaign cell through a backend."""
+def make_backend_runner(cell: str, engine: str, backend: str):
+    """One closure dispatching a 64-run campaign cell through a backend.
+
+    Returns ``(run, tier)`` where ``tier`` is the batch tier the planner
+    assigns the cell (``None`` for the scalar oracle arm, which bypasses
+    the planner entirely).  Recording the tier per sample lets baseline
+    diffs see which executor produced a committed figure — the
+    columnar-state gate keys off it.
+    """
     from repro.campaigns import CampaignSpec
     from repro.campaigns.runner import execute_chunk
+    from repro.engine.batch import plan_for_run
 
-    algorithm, model, scenario = BACKEND_CELLS[cell]
+    algorithm, model, scenario = (
+        BACKEND_CELLS.get(cell) or COLUMNAR_STATE_CELLS[cell]
+    )
     spec = CampaignSpec(
         name=f"bench-{cell}",
         algorithms=(algorithm,),
@@ -175,13 +216,14 @@ def make_backend_runner(cell: str, engine: str, backend: str) -> Callable[[], No
     )
     runs = tuple(spec.iter_runs())
     assert len(runs) == BACKEND_RUNS
+    tier = plan_for_run(runs[0]).mode if backend == "batch" else None
 
     def run() -> None:
         rows = execute_chunk(runs, False, backend)
         assert len(rows) == BACKEND_RUNS
         assert all(row["status"] == "ok" for row in rows)
 
-    return run
+    return run, tier
 
 
 def measure_backend(
@@ -193,15 +235,14 @@ def measure_backend(
     dispatches ⌈150 / 64⌉ chunks per arm rather than 150 × 64 rows.
     """
     chunks = max(1, round(budget / BACKEND_RUNS)) if budget is not None else None
-    sample = measure(
-        make_backend_runner(cell, engine, backend),
-        budget=chunks,
-        seconds=seconds,
-    )
+    runner, tier = make_backend_runner(cell, engine, backend)
+    sample = measure(runner, budget=chunks, seconds=seconds)
     sample["runs"] *= BACKEND_RUNS
     if sample["runs_per_sec"]:
         sample["runs_per_sec"] = round(sample["runs_per_sec"] * BACKEND_RUNS, 2)
     sample.update(cell=cell, engine=engine, observe="metrics", backend=backend)
+    if tier is not None:
+        sample["tier"] = tier
     return sample
 
 
@@ -289,15 +330,20 @@ def arm_key(sample: Dict) -> str:
     return f"{key}/{backend}" if backend else key
 
 
-def load_baseline(path: str) -> Dict[str, float]:
-    """``cell/engine/observe[/backend]`` → committed runs/sec."""
+def load_baseline(path: str):
+    """``cell/engine/observe[/backend]`` → committed (runs/sec, tier).
+
+    ``tier`` is the batch tier recorded with the committed sample, or
+    ``None`` when the report predates tier recording (pre-PR-9) or the
+    arm is not a batch arm.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
-    rates: Dict[str, float] = {}
+    rates: Dict[str, tuple] = {}
     for sample in report.get("cells", ()):
         rate = sample.get("runs_per_sec")
         if rate:
-            rates[arm_key(sample)] = rate
+            rates[arm_key(sample)] = (rate, sample.get("tier"))
     return rates
 
 
@@ -347,7 +393,7 @@ def main(argv=None) -> int:
     if args.sessions < 1:
         parser.error("--sessions must be >= 1")
 
-    known = {name for name, *_ in CELLS}
+    known = {name for name, *_ in CELLS} | set(COLUMNAR_STATE_CELLS)
     selected = known
     if args.cells is not None:
         selected = {name.strip() for name in args.cells.split(",") if name.strip()}
@@ -396,6 +442,18 @@ def main(argv=None) -> int:
                     rate = sample["runs_per_sec"] or 0
                     if key not in best or rate > (best[key]["runs_per_sec"] or 0):
                         best[key] = sample
+        for name in COLUMNAR_STATE_CELLS:
+            if name not in selected:
+                continue
+            for backend in BACKENDS:
+                sample = measure_backend(
+                    name, "timed", backend,
+                    budget=args.budget, seconds=args.seconds,
+                )
+                key = (name, "timed", OBSERVE_METRICS, backend)
+                rate = sample["runs_per_sec"] or 0
+                if key not in best or rate > (best[key]["runs_per_sec"] or 0):
+                    best[key] = sample
 
     results: List[Dict] = []
     speedups: Dict[str, float] = {}
@@ -434,6 +492,29 @@ def main(argv=None) -> int:
                     f"speedup={speedup:.2f}x"
                 )
 
+    for name in COLUMNAR_STATE_CELLS:
+        if name not in selected:
+            continue
+        backend_rates = {}
+        for backend in BACKENDS:
+            sample = best[(name, "timed", OBSERVE_METRICS, backend)]
+            results.append(sample)
+            backend_rates[backend] = sample["runs_per_sec"]
+        if backend_rates["scalar"] and backend_rates["batch"]:
+            speedup = round(
+                backend_rates["batch"] / backend_rates["scalar"], 2
+            )
+            speedups[f"{name}/timed/batch"] = speedup
+            tier = best[(name, "timed", OBSERVE_METRICS, "batch")].get(
+                "tier", "?"
+            )
+            print(
+                f"{name:22s} {'timed':9s} "
+                f"scalar={backend_rates['scalar']:9.1f}/s "
+                f"batch={backend_rates['batch']:9.1f}/s "
+                f"speedup={speedup:.2f}x [{tier}]"
+            )
+
     acceptance_key = f"{ACCEPTANCE_CELL}/lockstep"
     acceptance = {
         "cell": acceptance_key,
@@ -471,13 +552,14 @@ def main(argv=None) -> int:
     if baseline is not None:
         # Before/after arms: every measured arm next to its committed figure.
         arms: Dict[str, Dict[str, float]] = {}
+        cstate_arms: Dict[str, Dict] = {}
         for sample in results:
             rate = sample["runs_per_sec"]
             if not rate:
                 continue
             key = arm_key(sample)
-            committed = baseline.get(key)
-            if committed is None:
+            entry = baseline.get(key)
+            if entry is None:
                 # A measured arm the baseline never recorded cannot be
                 # gated; under --check that is a gate failure (refresh the
                 # committed report), never a vacuous pass.
@@ -489,17 +571,46 @@ def main(argv=None) -> int:
                         file=sys.stderr,
                     )
                 continue
+            committed, committed_tier = entry
             arms[key] = {
                 "baseline": committed,
                 "measured": rate,
                 "ratio": round(rate / committed, 2),
             }
-            if rate < (1.0 - args.tolerance) * committed:
+            # A columnar-state arm diffed against a figure produced by a
+            # different tier (or a pre-tier report that recorded none) is
+            # the tier's acceptance measurement: it must *gain* 3x, not
+            # merely avoid losing --tolerance.
+            cstate = (
+                sample.get("tier") == "columnar-state"
+                and committed_tier != "columnar-state"
+            )
+            if cstate:
+                ok = rate >= COLUMNAR_STATE_SPEEDUP * committed
+                cstate_arms[key] = {
+                    **arms[key],
+                    "baseline_tier": committed_tier,
+                    "required_speedup": COLUMNAR_STATE_SPEEDUP,
+                    "pass": ok,
+                }
+                if args.check and not ok:
+                    regressions.append(
+                        f"{key}: {rate:.1f}/s < {COLUMNAR_STATE_SPEEDUP:g} x "
+                        f"{committed:.1f}/s committed "
+                        f"{committed_tier or 'pre-tier'} figure"
+                    )
+            elif rate < (1.0 - args.tolerance) * committed:
                 regressions.append(
                     f"{key}: {rate:.1f}/s < (1 - {args.tolerance:g}) x "
                     f"{committed:.1f}/s committed"
                 )
         report["baseline"] = {"path": args.baseline, "arms": arms}
+        if cstate_arms:
+            report["columnar_state_acceptance"] = {
+                "required_speedup": COLUMNAR_STATE_SPEEDUP,
+                "arms": cstate_arms,
+                "pass": all(a["pass"] for a in cstate_arms.values()),
+            }
 
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)

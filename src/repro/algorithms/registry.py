@@ -7,8 +7,11 @@ from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.classification import AlgorithmClass, classify
 from repro.core.parameters import ConsensusParameters, GenericConsensusConfig
-from repro.core.run import ConsensusOutcome, run_consensus
+from repro.core.run import ConsensusOutcome, outcome_from_kernel
 from repro.core.types import ProcessId, Value
+from repro.engine.assembly import build_instance
+from repro.engine.kernel import OBSERVE_FULL, run_instance
+from repro.engine.scheduler import LockstepScheduler
 
 
 @dataclass(frozen=True)
@@ -31,11 +34,38 @@ class AlgorithmSpec:
     def run(
         self,
         initial_values: Mapping[ProcessId, Value],
-        **kwargs,
+        *,
+        config: Optional[GenericConsensusConfig] = None,
+        byzantine=None,
+        policy=None,
+        crash_schedule=None,
+        max_phases: int = 30,
+        record_snapshots: bool = False,
     ) -> ConsensusOutcome:
-        """Run one instance (see :func:`~repro.core.run.run_consensus`)."""
-        kwargs.setdefault("config", self.config)
-        return run_consensus(self.parameters, initial_values, **kwargs)
+        """Run one instance through the unified execution kernel.
+
+        Assembles the instance with
+        :func:`~repro.engine.assembly.build_instance` and drives it under a
+        :class:`~repro.engine.scheduler.LockstepScheduler` with full
+        observation — the same path every other runner uses, rather than
+        the legacy :func:`~repro.core.run.run_consensus` wrapper.  The
+        spec's own config applies unless the caller overrides it.
+        """
+        instance = build_instance(
+            self.parameters,
+            initial_values,
+            config=self.config if config is None else config,
+            byzantine=byzantine,
+        )
+        outcome = run_instance(
+            instance,
+            LockstepScheduler(policy),
+            max_phases=max_phases,
+            observe=OBSERVE_FULL,
+            crash_schedule=crash_schedule,
+            record_snapshots=record_snapshots,
+        )
+        return outcome_from_kernel(instance, outcome)
 
     @property
     def classified_as(self) -> Optional[AlgorithmClass]:

@@ -812,6 +812,53 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_plan(args: argparse.Namespace) -> int:
+    """``repro campaign plan``: per-cell tier classification, no execution.
+
+    Expands the spec's grid, groups runs into campaign cells, and prints
+    the batch tier the planner assigns each cell together with its reason
+    — the quickest way to see how much of a campaign will replicate, run
+    as one array program, or fall back to the per-run oracle, before
+    spending any cycles on it.
+    """
+    from collections import Counter
+
+    from repro.engine.batch import cell_key, plan_for_run
+
+    spec = _load_campaign(args.spec)
+    if spec is None:
+        return 2
+    cells = {}  # cell key -> (representative run, reps)
+    for run in spec.iter_runs():
+        key = cell_key(run)
+        if key in cells:
+            cells[key][1] += 1
+        else:
+            cells[key] = [run, 1]
+    print(f"campaign {spec.name!r}: {spec.total_runs} runs, {len(cells)} cells")
+    tier_counts: Counter = Counter()
+    header = (
+        f"  {'algorithm':<14} {'model':<10} {'engine':<9} "
+        f"{'scenario':<18} {'reps':>4}  {'tier':<15} reason"
+    )
+    print(header)
+    for run, reps in cells.values():
+        plan = plan_for_run(run)
+        tier_counts[plan.mode] += reps
+        model = f"({run.n},{run.b},{run.f})"
+        print(
+            f"  {run.algorithm:<14} {model:<10} {run.engine:<9} "
+            f"{run.scenario.name:<18} {reps:>4}  {plan.mode:<15} {plan.reason}"
+        )
+    print(
+        "  tiers: "
+        + "  ".join(
+            f"{mode} {count}" for mode, count in sorted(tier_counts.items())
+        )
+    )
+    return 0
+
+
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
     from repro.campaigns import (
         DEFAULT_GROUP_KEYS,
@@ -880,6 +927,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     handlers = {
         "list": _cmd_campaign_list,
         "run": _cmd_campaign_run,
+        "plan": _cmd_campaign_plan,
         "report": _cmd_campaign_report,
     }
     return handlers[args.campaign_command](args)
@@ -1101,6 +1149,13 @@ def build_parser() -> argparse.ArgumentParser:
         "forces the per-run oracle (default: the REPRO_BACKEND env var, "
         "else auto); result rows are byte-identical at every backend",
     )
+
+    cplan = csub.add_parser(
+        "plan",
+        help="print each campaign cell's batch tier (replicate / "
+        "columnar-state / columnar / scalar) and why, without executing",
+    )
+    cplan.add_argument("spec", help="spec file (.json/.toml) or built-in name")
 
     creport = csub.add_parser("report", help="aggregate a results JSONL file")
     creport.add_argument("results", help="path to a results .jsonl file")

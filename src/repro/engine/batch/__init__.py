@@ -2,10 +2,38 @@
 
 One campaign *cell* is B runs differing only in repetition index and
 derived seed.  This package executes a cell as a unit — see
-:mod:`repro.engine.batch.plan` for the three execution tiers (replicate /
-columnar / scalar), :mod:`repro.engine.batch.scheduler` for the
-block-stream timed scheduler, and :mod:`repro.engine.batch.kernel` for the
-lockstep sweep that drives B kernels round by round.
+:mod:`repro.engine.batch.plan` for the four execution tiers (replicate /
+columnar-state / columnar / scalar), :mod:`repro.engine.batch.scheduler`
+for the block-stream timed scheduler, :mod:`repro.engine.batch.kernel`
+for the lockstep sweep that drives B kernels round by round, and
+:mod:`repro.engine.batch.columnar_state` for the top tier, which runs the
+generic algorithm itself as one array program over ``(B runs × n
+processes)`` state.
+
+The columnar-state contracts
+============================
+
+The columnar-state tier rests on two cell-level encodings, both proven at
+template-build time and demoted (never fudged) when unprovable:
+
+* **Value encoding** — a cell's value alphabet is *closed*: honest initial
+  values plus every payload its (inbox-free, run-invariant) Byzantine
+  strategies can utter across the round horizon.
+  :func:`repro.core.columnar.encode_alphabet` assigns each value a small
+  int code in :func:`repro.utils.det._sort_key` order, so every
+  ``deterministic_choice`` of the algorithm is a plain ``min`` over codes;
+  ``-1`` is the paper's ``null``, and the ``?`` (ANY) outcome travels as a
+  separate boolean mask.  A value outside the alphabet, or two values
+  whose sort keys collide, demotes the cell.
+
+* **Mask contract** — the per-run seed enters the array program **only**
+  through ``(B, n, n)`` boolean delivery masks (dest-major:
+  ``mask[b, dest, sender]``).  Each round's mask is produced by mirroring
+  the scalar scheduler draw for draw on the run's own two ``BlockRng``
+  streams: scenario-filter coins first (policy stream), then latency
+  samples against the round deadline (network stream).  Everything else —
+  payloads, suggestion sets, validator sets, edge lists, wall-clock
+  windows — is a per-cell template shared by all runs.
 
 The per-run RNG-stream contract
 ===============================
@@ -36,8 +64,10 @@ subset of runs from a batch leaves the remaining rows' bytes untouched.
 
 from repro.engine.batch.kernel import cell_key, run_batch
 from repro.engine.batch.plan import (
+    COLUMNAR_STATE_STRATEGIES,
     DETERMINISTIC_STRATEGIES,
     MODE_COLUMNAR,
+    MODE_COLUMNAR_STATE,
     MODE_REPLICATE,
     MODE_SCALAR,
     BatchPlan,
@@ -50,8 +80,10 @@ from repro.engine.batch.scheduler import (
 )
 
 __all__ = [
+    "COLUMNAR_STATE_STRATEGIES",
     "DETERMINISTIC_STRATEGIES",
     "MODE_COLUMNAR",
+    "MODE_COLUMNAR_STATE",
     "MODE_REPLICATE",
     "MODE_SCALAR",
     "BatchPlan",

@@ -7,6 +7,10 @@ produces exactly the rows the scalar oracle
 
 * replicate tier — execute one representative, clone its row per run with
   only the per-run coordinates (``run_id``, ``rep``, ``seed``) patched;
+* columnar-state tier — execute the whole cell as one array program over
+  ``(B runs × n processes)`` state (:mod:`repro.engine.batch
+  .columnar_state`), the per-run seed entering only through delivery
+  masks; any build-time surprise demotes the cell to the columnar tier;
 * columnar tier — drive B timed kernels round by round in lockstep, each
   over its own block-capable RNG streams (bulk latency draws), finalizing
   each run the moment its stop condition fires;
@@ -21,8 +25,8 @@ traceback (``inadmissible`` / ``inapplicable`` and resolution failures,
 whose text is a plain message) are emitted directly.
 
 Every row is tagged with a volatile ``_backend`` field (``replicate`` /
-``columnar`` / ``scalar``) for the events sidecar and progress display;
-volatile fields never reach the canonical JSONL.
+``columnar-state`` / ``columnar`` / ``scalar``) for the events sidecar and
+progress display; volatile fields never reach the canonical JSONL.
 """
 
 from __future__ import annotations
@@ -34,8 +38,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.campaigns.spec import RunSpec
 from repro.core.types import FaultModel
 from repro.engine.assembly import build_instance
+from repro.engine.batch.columnar_state import columnar_state_rows
 from repro.engine.batch.plan import (
     MODE_COLUMNAR,
+    MODE_COLUMNAR_STATE,
     MODE_REPLICATE,
     BatchPlan,
     plan_for_run,
@@ -92,14 +98,16 @@ def run_batch(
         telemetry.count("batch.rows", len(runs))
 
     rows: Optional[List[Optional[Row]]] = None
+    tier = "batch.columnar_rows"
     if plan.mode == MODE_REPLICATE:
         rows = _replicate_rows(runs)
-    elif plan.mode == MODE_COLUMNAR:
+        tier = "batch.replicated_rows"
+    elif plan.mode in (MODE_COLUMNAR, MODE_COLUMNAR_STATE):
         if telemetry is not None:
             with telemetry.span("scheduler.batch"):
-                rows = _columnar_rows(runs)
+                rows, tier = _timed_rows(runs, plan.mode)
         else:
-            rows = _columnar_rows(runs)
+            rows, tier = _timed_rows(runs, plan.mode)
 
     if rows is None:
         rows = [None] * len(runs)
@@ -115,17 +123,28 @@ def run_batch(
         if pending:
             telemetry.count("batch.fallback_scalar", len(pending))
         if produced:
-            tier = (
-                "batch.replicated_rows"
-                if plan.mode == MODE_REPLICATE
-                else "batch.columnar_rows"
-            )
             telemetry.count(tier, produced)
     for index in pending:
         row = execute_run(runs[index])
         row["_backend"] = "scalar"
         rows[index] = row
     return rows  # type: ignore[return-value]
+
+
+def _timed_rows(
+    runs: Sequence[RunSpec], mode: str
+) -> Tuple[Optional[List[Optional[Row]]], str]:
+    """The timed tiers' row production, with the telemetry counter earned.
+
+    The columnar-state tier may demote the whole cell (``None`` result —
+    numpy absent or a template assumption failed at build time), in which
+    case the cell runs — and is counted — as the per-run columnar tier.
+    """
+    if mode == MODE_COLUMNAR_STATE:
+        rows = columnar_state_rows(runs)
+        if rows is not None:
+            return rows, "batch.columnar_state_rows"
+    return _columnar_rows(runs), "batch.columnar_rows"
 
 
 def _replicate_rows(runs: Sequence[RunSpec]) -> Optional[List[Optional[Row]]]:

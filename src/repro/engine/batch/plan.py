@@ -1,4 +1,4 @@
-"""Batch planning: classify a campaign cell's executions into one of three
+"""Batch planning: classify a campaign cell's executions into one of four
 execution tiers.
 
 One :class:`~repro.campaigns.spec.CampaignSpec` cell is B runs of one
@@ -13,7 +13,16 @@ run executes, how much of that structure the batch kernel may exploit:
   per repetition with only ``run_id`` / ``rep`` / ``seed`` patched.  This
   is the dominant tier for the paper's Table-1 sweeps and delivers the
   order-of-magnitude batch speedup.
-* :data:`MODE_COLUMNAR` — timed-engine cells whose outcome *does* depend
+* :data:`MODE_COLUMNAR_STATE` — seed-dependent timed cells whose *entire
+  generic algorithm* is provably expressible as an array program over
+  ``(B runs × n processes)`` state: the value alphabet is closed and
+  encodable as small ints, the FLV is one of the paper's classes 1–3, the
+  Selector is pid-independent, Byzantine payloads are run-invariant, and
+  the per-run seed enters only through ``(B, n, n)`` delivery masks.  One
+  array program advances every run's votes/timestamps/decisions at once
+  (:mod:`repro.engine.batch.columnar_state`); the scalar kernel remains
+  the oracle it is checked against.
+* :data:`MODE_COLUMNAR` — other timed-engine cells whose outcome depends
   on the seed: each run keeps its own RNG streams (the per-run contract),
   but they are block-capable (:class:`~repro.utils.accel.BlockRng`), so
   every round's latency draws collapse into a handful of array ops while
@@ -40,8 +49,10 @@ from repro.eventsim.network import NetworkSpec
 from repro.scenarios.spec import CommSpec, ScenarioSpec
 
 __all__ = [
+    "COLUMNAR_STATE_STRATEGIES",
     "DETERMINISTIC_STRATEGIES",
     "MODE_COLUMNAR",
+    "MODE_COLUMNAR_STATE",
     "MODE_REPLICATE",
     "MODE_SCALAR",
     "BatchPlan",
@@ -50,6 +61,7 @@ __all__ = [
 ]
 
 MODE_REPLICATE = "replicate"
+MODE_COLUMNAR_STATE = "columnar-state"
 MODE_COLUMNAR = "columnar"
 MODE_SCALAR = "scalar"
 
@@ -70,6 +82,13 @@ DETERMINISTIC_STRATEGIES = frozenset(
         "adaptive-liar",
     }
 )
+
+#: The strategies whose per-round payloads are additionally *inbox-free* —
+#: computable from ``(pid, round)`` alone, before any delivery happens.
+#: The columnar-state tier precomputes each strategy's outbound payloads
+#: once per cell, so an adversary that reads its inbox (``adaptive-liar``)
+#: must stay on the per-run columnar tier.
+COLUMNAR_STATE_STRATEGIES = DETERMINISTIC_STRATEGIES - {"adaptive-liar"}
 
 
 @dataclass(frozen=True)
@@ -119,14 +138,91 @@ def _timed_delivery_deterministic(timing: NetworkSpec) -> bool:
     return min(max_latency, timing.delta) <= timing.round_duration
 
 
+def _columnar_state_eligible(
+    scenario: ScenarioSpec, parameters: object, config: object
+) -> bool:
+    """True when a seed-dependent timed cell can run as one array program.
+
+    Every clause guards an assumption the columnar-state executor bakes
+    into its per-cell templates; anything unprovable here demotes to the
+    per-run columnar tier (cost: speed, never bytes):
+
+    * no crashes — the array program has no crash schedule;
+    * only inbox-free Byzantine strategies — payloads precompute per cell;
+    * a comm kind whose per-round filter reduces to per-edge booleans
+      (``async-prel`` is timed-inapplicable anyway);
+    * an FLV that is exactly one of the paper's classes 1–3 — the columnar
+      evaluators in :mod:`repro.core.columnar` mirror Algorithms 2–4 only;
+    * a pid-independent Selector (suggestion sets depend on the phase, not
+      the asking process), so suggestions become per-phase templates;
+    * when the FLAG needs a validation round, the static-selector
+      optimization must be active — validator sets are then per-phase
+      templates instead of per-message quorum scans;
+    * none of the config switches that grow or reshape state
+      (``skip_first_selection``, history bounding, the line-26 ablation).
+    """
+    from repro.core.flv_class1 import FLVClass1
+    from repro.core.flv_class2 import FLVClass2
+    from repro.core.flv_class3 import FLVClass3
+    from repro.core.selector import (
+        AllProcessesSelector,
+        FixedSelector,
+        RotatingCoordinatorSelector,
+        RotatingSubsetSelector,
+    )
+
+    if scenario.crashes != 0:
+        return False
+    if any(
+        name not in COLUMNAR_STATE_STRATEGIES for name in scenario.byzantine
+    ):
+        return False
+    if scenario.comm.kind not in ("reliable", "lossy", "silent", "good-bad"):
+        return False
+    flv = getattr(parameters, "flv", None)
+    if type(flv) not in (FLVClass1, FLVClass2, FLVClass3):
+        return False
+    selector = getattr(parameters, "selector", None)
+    if type(selector) not in (
+        AllProcessesSelector,
+        FixedSelector,
+        RotatingSubsetSelector,
+        RotatingCoordinatorSelector,
+    ):
+        return False
+    if getattr(config, "skip_first_selection", False):
+        return False
+    if getattr(config, "record_validation_in_history", False):
+        return False
+    if getattr(config, "max_history_size", None) is not None:
+        return False
+    if parameters.flag.needs_validation_round:
+        static = (
+            config.uses_static_selector(selector)
+            if config is not None
+            else selector.is_static
+        )
+        if not static:
+            return False
+    return True
+
+
 def plan_cell(
-    scenario: ScenarioSpec, engine: str, config: object = None
+    scenario: ScenarioSpec,
+    engine: str,
+    config: object = None,
+    parameters: object = None,
 ) -> BatchPlan:
     """Classify one ``(scenario, engine, config)`` cell into a batch tier.
 
     ``config`` is the resolved algorithm's
     :class:`~repro.core.parameters.GenericConsensusConfig` (or ``None``
     when unresolved); a randomized coin forces the scalar tier.
+    ``parameters`` is the resolved
+    :class:`~repro.core.parameters.ConsensusParameters` — required for the
+    columnar-state tier (without it the planner cannot prove the FLV /
+    Selector expressible as reductions, so seed-dependent timed cells stay
+    on the per-run columnar tier).
     """
     if getattr(config, "coin", None) is not None:
         return BatchPlan(MODE_SCALAR, "randomized coin consumes per-run seed")
@@ -151,6 +247,14 @@ def plan_cell(
             return BatchPlan(
                 MODE_SCALAR, "REPRO_SLOW_SCHEDULER forces the heap oracle"
             )
+        if parameters is not None and _columnar_state_eligible(
+            scenario, parameters, config
+        ):
+            return BatchPlan(
+                MODE_COLUMNAR_STATE,
+                "generic algorithm runs as one (runs × processes) "
+                "array program over delivery masks",
+            )
         return BatchPlan(MODE_COLUMNAR, "seed-dependent timed delivery")
     return BatchPlan(MODE_SCALAR, "stochastic lockstep policy")
 
@@ -168,7 +272,7 @@ def plan_for_run(run: RunSpec) -> BatchPlan:
 
     try:
         model = FaultModel(run.n, run.b, run.f)
-        _parameters, config = _resolve_algorithm_memo(run.algorithm, model)
+        parameters, config = _resolve_algorithm_memo(run.algorithm, model)
     except Exception:
         return BatchPlan(MODE_SCALAR, "algorithm/model resolution failed")
-    return plan_cell(run.scenario, run.engine, config)
+    return plan_cell(run.scenario, run.engine, config, parameters=parameters)

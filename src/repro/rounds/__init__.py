@@ -31,6 +31,7 @@ __all__ = [
     "LossyPolicy",
     "ReliablePolicy",
     "RoundProcess",
+    "RoundStructure",
     "RunContext",
     "SilentPolicy",
     "SyncEngine",
@@ -38,3 +39,17 @@ __all__ = [
     "check_pgood",
     "check_prel",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy (PEP 562) because :mod:`repro.core.process` imports
+    # ``rounds.base`` at module load — an eager re-export here would be a
+    # cycle.  ``RoundStructure`` is the phase → round-sequence map that the
+    # batch backend's columnar-state tier compiles its per-round templates
+    # from, so it belongs in the round-model vocabulary this package
+    # presents even though the class lives beside the algorithm state.
+    if name == "RoundStructure":
+        from repro.core.process import RoundStructure
+
+        return RoundStructure
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

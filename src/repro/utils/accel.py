@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import os
 import random
-from typing import Any, Optional, Sequence
+import weakref
+from typing import Any, List, Optional, Sequence
 
 NUMPY_ENV = "REPRO_NO_NUMPY"
 
@@ -41,15 +42,77 @@ _NUMPY: Any = None
 _NUMPY_CHECKED = False
 
 
-def _transplant(np_module: Any, rng: random.Random) -> Any:
-    """Return a ``RandomState`` continuing ``rng``'s MT19937 stream."""
+# Recycled ``RandomState`` instances.  Constructing one costs ~100µs (the
+# MT19937 bit-generator __init__ dominates, independent of the seed) while
+# reseeding an existing one costs ~10µs, so per-run stream builders reuse
+# retired instances.  A state is retired by the ``weakref.finalize`` hook
+# installed on its owning :class:`BlockRng` — at that point the BlockRng
+# held the only reference, so handing the state to the next owner is safe.
+# The cap bounds worst-case retention to ~1.5 MB of MT19937 state.
+_STATE_POOL: List[Any] = []
+_POOL_CAP = 512
+
+
+def _acquire_state(np_module: Any) -> Any:
+    if _STATE_POOL:
+        return _STATE_POOL.pop()
+    return np_module.random.RandomState()
+
+
+def _release_state(state: Any) -> None:
+    if len(_STATE_POOL) < _POOL_CAP:
+        _STATE_POOL.append(state)
+
+
+def _transplant(np_module: Any, state: Any, rng: random.Random) -> Any:
+    """Re-seed ``state`` to continue ``rng``'s MT19937 stream."""
     version, internal, _gauss = rng.getstate()
     if version != 3:  # pragma: no cover - future CPython format change
         raise ValueError(f"unsupported random.Random state version {version}")
     key, pos = internal[:-1], internal[-1]
-    state = np_module.random.RandomState()
     state.set_state(("MT19937", np_module.array(key, dtype=np_module.uint32), pos))
     return state
+
+
+def _mt_key(seed: int) -> List[int]:
+    """CPython ``random.Random``'s MT19937 ``init_by_array`` key for ``seed``:
+    the little-endian 32-bit chunking of ``abs(seed)``."""
+    n = abs(int(seed))
+    if n == 0:
+        return [0]
+    key = []
+    while n:
+        key.append(n & 0xFFFFFFFF)
+        n >>= 32
+    return key
+
+
+_FAST_SEED: Optional[bool] = None
+
+
+def _fast_seed_supported(np_module: Any) -> bool:
+    """One-time check that direct integer seeding is stream-exact.
+
+    numpy's legacy array seeding runs the same ``init_by_array`` expansion
+    CPython uses, so ``RandomState.seed(_mt_key(s))`` should equal
+    transplanting a fresh ``random.Random(s)`` — skipping the boxed-int
+    state round-trip.  The key must be a plain list: a one-element ndarray
+    is routed through numpy's *scalar* seeding (``init_genrand``), a
+    different expansion.  If an exotic numpy build disagrees, BlockRng
+    falls back to the transplant path.
+    """
+    global _FAST_SEED
+    if _FAST_SEED is None:
+        state = np_module.random.RandomState()
+        ok = True
+        for probe in (0, 1, 0xDEADBEEF, 2**40 + 7, 2**70 + 13):
+            state.seed(_mt_key(probe))
+            ref = random.Random(probe)
+            if any(float(v) != ref.random() for v in state.random_sample(4)):
+                ok = False
+                break
+        _FAST_SEED = ok
+    return _FAST_SEED
 
 
 def _self_check(np_module: Any) -> bool:
@@ -59,7 +122,7 @@ def _self_check(np_module: Any) -> bool:
     # a freshly seeded state.
     for _ in range(7):
         probe.random()
-    state = _transplant(np_module, probe)
+    state = _transplant(np_module, np_module.random.RandomState(), probe)
     block = state.random_sample(16)
     return all(float(v) == probe.random() for v in block)
 
@@ -97,20 +160,36 @@ class BlockRng:
     order is preserved draw for draw.
     """
 
-    __slots__ = ("_np", "_state", "_scalar", "_buf", "_pos")
+    __slots__ = ("_np", "_state", "_scalar", "_buf", "_pos", "__weakref__")
 
     def __init__(self, seed: "int | random.Random") -> None:
-        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
         np_module = get_numpy()
         self._np = np_module
         if np_module is not None:
-            self._state = _transplant(np_module, rng)
+            state = _acquire_state(np_module)
+            if not isinstance(seed, random.Random) and _fast_seed_supported(
+                np_module
+            ):
+                state.seed(_mt_key(seed))
+            else:
+                rng = (
+                    seed
+                    if isinstance(seed, random.Random)
+                    else random.Random(seed)
+                )
+                _transplant(np_module, state, rng)
+            self._state = state
             self._scalar = None
             self._buf = np_module.empty(0)
             self._pos = 0
+            weakref.finalize(self, _release_state, state)
         else:
             self._state = None
-            self._scalar = rng
+            self._scalar = (
+                seed
+                if isinstance(seed, random.Random)
+                else random.Random(seed)
+            )
             self._buf = None
             self._pos = 0
 
@@ -151,6 +230,35 @@ class BlockRng:
         if buffered == 0:
             return tail
         return self._np.concatenate((head, tail))
+
+    def clone(self) -> "BlockRng":
+        """An independent stream continuing from this one's exact state.
+
+        On the numpy path the MT19937 state is copied generator-to-
+        generator (into a pool-recycled ``RandomState``) instead of being
+        re-derived through ``random.Random``'s boxed-int state tuple.  The
+        batch backend builds its per-run (network, policy) stream pairs —
+        two identically seeded streams that then evolve independently —
+        as one seeded stream plus one clone.
+        """
+        twin = object.__new__(BlockRng)
+        twin._np = self._np
+        twin._pos = self._pos
+        if self._np is not None:
+            state = _acquire_state(self._np)
+            state.set_state(self._state.get_state(legacy=True))
+            twin._state = state
+            twin._scalar = None
+            weakref.finalize(twin, _release_state, state)
+            # Buffers are only ever read (block() hands out views), so the
+            # twin may share the unconsumed prefix.
+            twin._buf = self._buf
+        else:
+            twin._state = None
+            twin._scalar = random.Random()
+            twin._scalar.setstate(self._scalar.getstate())
+            twin._buf = None
+        return twin
 
 
 def block_stream(rng: object) -> Optional[BlockRng]:

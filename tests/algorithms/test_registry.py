@@ -60,3 +60,42 @@ def test_describe_mentions_name_and_section():
     spec = ALGORITHM_BUILDERS["mqb"](5)
     text = spec.describe()
     assert "MQB" in text and "5.2" in text
+
+
+def test_spec_run_matches_run_consensus():
+    """AlgorithmSpec.run drives the kernel directly, bytes unchanged.
+
+    The spec method assembles build_instance + run_instance itself; this
+    pins it to the legacy run_consensus wrapper outcome for outcome — same
+    decisions, same rounds, same invariant verdicts — including when the
+    caller supplies Byzantine strategies and a phase bound.
+    """
+    from repro.core.run import run_consensus
+
+    spec = ALGORITHM_BUILDERS["pbft"](4)
+    for initial, byzantine, max_phases in (
+        ({0: "a", 1: "b", 2: "b", 3: "a"}, None, 30),
+        ({0: "a", 2: "b", 3: "a"}, {1: "equivocator"}, 12),
+        ({0: "a", 2: "b", 3: "a"}, {1: "vote-flipper"}, 8),
+    ):
+        mine = spec.run(
+            initial, byzantine=byzantine, max_phases=max_phases
+        )
+        legacy = run_consensus(
+            spec.parameters,
+            initial,
+            config=spec.config,
+            byzantine=byzantine,
+            max_phases=max_phases,
+        )
+        assert mine.decisions.keys() == legacy.decisions.keys()
+        assert {
+            pid: decision.value for pid, decision in mine.decisions.items()
+        } == {
+            pid: decision.value for pid, decision in legacy.decisions.items()
+        }
+        assert mine.result.rounds_executed == legacy.result.rounds_executed
+        assert mine.decided_values == legacy.decided_values
+        assert dict(mine.invariant_report()) == dict(
+            legacy.invariant_report()
+        )

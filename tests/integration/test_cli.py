@@ -99,3 +99,22 @@ def test_smr_sweep(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "serve|worst_case|rate40" in out
     assert out_path.read_text().count("\n") == 4
+
+
+def test_campaign_plan_classifies_cells_without_executing(capsys):
+    assert main(["campaign", "plan", "gauntlet"]) == 0
+    out = capsys.readouterr().out
+    # Every tier the gauntlet exercises appears, with its reason text.
+    assert "campaign 'gauntlet':" in out
+    assert "columnar-state" in out
+    assert "replicate" in out
+    assert "seed-dependent timed delivery" in out
+    assert "array program" in out
+    # The classification is a plan, not an execution: tier counts cover
+    # the whole grid.
+    assert "tiers:" in out
+
+
+def test_campaign_plan_unknown_spec(capsys):
+    assert main(["campaign", "plan", "no-such-campaign"]) == 2
+    assert "no such campaign" in capsys.readouterr().err
