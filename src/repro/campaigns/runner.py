@@ -47,7 +47,8 @@ from __future__ import annotations
 import os
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from time import perf_counter
+from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter, sleep
 from typing import (
     AbstractSet,
     Callable,
@@ -75,7 +76,8 @@ Row = Dict[str, object]
 ProgressFn = Callable[[int, int], None]
 
 #: Called with ``(kind, fields)`` for runner lifecycle events
-#: (``chunk_dispatched`` today); the CLI forwards these to its
+#: (``chunk_dispatched``, and on worker-process death ``worker_crashed`` /
+#: ``chunk_retried`` / ``pool_degraded``); the CLI forwards these to its
 #: :class:`~repro.observability.events.EventLog` sidecar.
 EventFn = Callable[[str, Dict[str, object]], None]
 
@@ -286,6 +288,21 @@ BACKEND_ENV = "REPRO_BACKEND"
 #: win (single-repetition campaigns stay on the oracle path entirely).
 BATCH_FLOOR = 4
 
+#: How many times a campaign rebuilds its process pool after a worker
+#: crash (:class:`BrokenProcessPool`) before degrading to in-process
+#: execution for the rest of the run.
+POOL_REBUILD_LIMIT = 3
+
+#: How many pooled re-dispatches one chunk gets after crashes before it
+#: executes in-process instead (a chunk that keeps killing workers — OOM,
+#: segfaulting native code — must not crash-loop the pool forever).
+CHUNK_RETRY_LIMIT = 2
+
+#: Base pause before a pool rebuild, doubled per rebuild (capped at 1 s):
+#: long enough to let a transient condition (fork storm, memory pressure)
+#: clear, short enough to be invisible on a healthy run.
+POOL_BACKOFF_S = 0.05
+
 
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Normalize a backend choice: explicit arg, else env, else ``auto``."""
@@ -397,6 +414,18 @@ def iter_campaign(
     ``backend`` selects the execution backend (see :data:`BACKENDS`;
     ``None`` reads :data:`BACKEND_ENV`, else ``auto``): the batch kernel
     changes only throughput, never row bytes.
+
+    Dispatch survives worker-process death: a killed worker surfaces as
+    :class:`BrokenProcessPool`, whereupon every in-flight chunk is
+    salvaged, the pool is rebuilt (up to :data:`POOL_REBUILD_LIMIT`
+    times, with backoff) and the chunks are re-dispatched (each at most
+    :data:`CHUNK_RETRY_LIMIT` times through a pool before executing
+    in-process instead); past the rebuild limit the campaign degrades to
+    in-process execution entirely.  Because every run is seeded by its
+    coordinates, the recovered row stream is byte-identical (after the
+    canonical ``run_id`` sort) to an undisturbed run — crashes cost
+    wall-clock, never correctness.  ``worker_crashed`` /
+    ``chunk_retried`` / ``pool_degraded`` events record each recovery.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
@@ -453,41 +482,140 @@ def iter_campaign(
         chunk = min(chunk, max(1, window // workers))
     else:
         window = workers * WINDOW_PER_WORKER * chunk
-    pool = ProcessPoolExecutor(max_workers=workers)
+    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+        max_workers=workers
+    )
+    rebuilds = 0
     try:
-        pending: Dict[object, int] = {}  # future → runs it carries
+        # future → (the chunk's runs, crash-retry attempt).  Keeping the
+        # runs alongside the future is what makes a worker crash
+        # recoverable: the chunk is simply dispatched again.
+        pending: Dict[object, Tuple[Tuple[RunSpec, ...], int]] = {}
         inflight = 0
         batch: List[RunSpec] = []
 
-        def submit() -> None:
-            nonlocal inflight
-            future = pool.submit(execute_chunk, tuple(batch), timings, backend)
-            pending[future] = len(batch)
-            inflight += len(batch)
+        def emit(kind: str, fields: Dict[str, object]) -> None:
             if on_event is not None:
-                on_event("chunk_dispatched", {"runs": len(batch)})
-            batch.clear()
+                on_event(kind, fields)
+
+        def dispatch(
+            chunk_runs: Tuple[RunSpec, ...], attempt: int
+        ) -> Iterator[Row]:
+            """Hand one chunk to the pool (rows come back through
+            :func:`drain`), or — once the pool is degraded or the chunk
+            has exhausted its crash retries — execute it in-process and
+            yield its rows directly.  Row contents are identical on
+            either path: runs are seeded by their coordinates."""
+            nonlocal inflight
+            if attempt > 0:
+                emit(
+                    "chunk_retried",
+                    {
+                        "runs": len(chunk_runs),
+                        "attempt": attempt,
+                        "mode": (
+                            "pool"
+                            if pool is not None
+                            and attempt <= CHUNK_RETRY_LIMIT
+                            else "inline"
+                        ),
+                    },
+                )
+            if pool is not None and attempt <= CHUNK_RETRY_LIMIT:
+                try:
+                    future = pool.submit(
+                        execute_chunk, chunk_runs, timings, backend
+                    )
+                except BrokenProcessPool as exc:
+                    # The pool died between drains; recover() re-enters
+                    # dispatch with attempt+1, so this cannot loop
+                    # unboundedly (attempt eventually exceeds the limit).
+                    yield from recover(exc, (chunk_runs, attempt))
+                    return
+                pending[future] = (chunk_runs, attempt)
+                inflight += len(chunk_runs)
+                if attempt == 0:
+                    emit("chunk_dispatched", {"runs": len(chunk_runs)})
+                return
+            for row in execute_chunk(chunk_runs, timings, backend):
+                yield advance(row)
+
+        def recover(
+            exc: BaseException, *extra: Tuple[Tuple[RunSpec, ...], int]
+        ) -> Iterator[Row]:
+            """A worker process died.  Salvage every in-flight chunk,
+            rebuild the pool (bounded retries with backoff, then degrade
+            to in-process execution) and re-dispatch the survivors —
+            the row stream continues as if nothing happened."""
+            nonlocal pool, rebuilds, inflight
+            # One dead worker breaks the whole executor: every pending
+            # future settles promptly (result or BrokenProcessPool), so
+            # this wait is short.  Chunks that finished before the crash
+            # keep their rows; the rest are re-dispatched.
+            if pending:
+                wait(list(pending))
+            salvaged = list(extra)
+            finished: List[Row] = []
+            for future, (chunk_runs, attempt) in pending.items():
+                inflight -= len(chunk_runs)
+                try:
+                    finished.extend(future.result())
+                except BaseException:
+                    salvaged.append((chunk_runs, attempt))
+            pending.clear()
+            emit(
+                "worker_crashed",
+                {
+                    "chunks": len(salvaged),
+                    "runs": sum(len(c) for c, _ in salvaged),
+                    "error": str(exc).split("\n")[0],
+                    "rebuilds": rebuilds,
+                },
+            )
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if rebuilds < POOL_REBUILD_LIMIT:
+                rebuilds += 1
+                sleep(min(POOL_BACKOFF_S * (2 ** (rebuilds - 1)), 1.0))
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                pool = None
+                emit("pool_degraded", {"rebuilds": rebuilds})
+            for row in finished:
+                yield advance(row)
+            for chunk_runs, attempt in salvaged:
+                yield from dispatch(chunk_runs, attempt + 1)
 
         def drain() -> Iterator[Row]:
             nonlocal inflight
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                inflight -= pending.pop(future)
-                for row in future.result():
+                if future not in pending:
+                    continue  # salvaged by an earlier recover() this loop
+                chunk_runs, attempt = pending.pop(future)
+                inflight -= len(chunk_runs)
+                try:
+                    rows = future.result()
+                except BrokenProcessPool as exc:
+                    yield from recover(exc, (chunk_runs, attempt))
+                    continue
+                for row in rows:
                     yield advance(row)
 
         for run in runs:
             batch.append(run)
             if len(batch) >= chunk:
-                submit()
+                yield from dispatch(tuple(batch), 0)
+                batch.clear()
                 while inflight >= window:
                     yield from drain()
         if batch:
-            submit()
+            yield from dispatch(tuple(batch), 0)
         while pending:
             yield from drain()
     finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def run_campaign(

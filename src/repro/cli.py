@@ -19,11 +19,16 @@ Usage examples::
     python -m repro.cli campaign run grid-demo --events events.jsonl --progress
     python -m repro.cli campaign report results.jsonl
     python -m repro.cli campaign report results.jsonl --events events.jsonl
+    python -m repro.cli fuzz run --seed 7 --budget 200 --out findings.jsonl
+    python -m repro.cli fuzz run --seed 7 --budget 200 --out findings.jsonl --resume
+    python -m repro.cli fuzz replay findings.jsonl --index 16 --shrunk
+    python -m repro.cli fuzz shrink findings.jsonl --index 16
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -933,6 +938,242 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return handlers[args.campaign_command](args)
 
 
+def _fuzz_space(args: argparse.Namespace):
+    """Build a :class:`FuzzSpace` from ``fuzz run`` arguments (or exit 2)."""
+    from repro.fuzz import DEFAULT_ALGORITHMS, DEFAULT_STRATEGIES, FuzzSpace
+
+    models = None
+    if args.models:
+        models = []
+        for text in args.models:
+            parts = text.split(",")
+            if len(parts) != 3:
+                print(
+                    f"bad --models entry {text!r}: expected N,B,F",
+                    file=sys.stderr,
+                )
+                return None
+            try:
+                models.append(tuple(int(p) for p in parts))
+            except ValueError:
+                print(
+                    f"bad --models entry {text!r}: expected three integers",
+                    file=sys.stderr,
+                )
+                return None
+        models = tuple(models)
+    try:
+        return FuzzSpace(
+            algorithms=(
+                tuple(args.algorithms) if args.algorithms else DEFAULT_ALGORITHMS
+            ),
+            engines=tuple(args.engines) if args.engines else ("lockstep", "timed"),
+            models=models,
+            n_range=(args.n_min, args.n_max),
+            strategies=(
+                tuple(args.strategies) if args.strategies else DEFAULT_STRATEGIES
+            ),
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return None
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, run_fuzz
+
+    space = _fuzz_space(args)
+    if space is None:
+        return 2
+    try:
+        config = FuzzConfig(
+            space=space,
+            seed=args.seed,
+            budget=args.budget,
+            over_bound=args.over_bound,
+            mutate_prob=args.mutate_prob,
+            shrink=not args.no_shrink,
+            shrink_attempts=args.shrink_attempts,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    step = max(1, config.budget // 10)
+
+    def progress(done: int, budget: int, findings: int) -> None:
+        if not args.quiet and (done % step == 0 or done == budget):
+            print(
+                f"  {done}/{budget} candidates, {findings} finding(s)",
+                file=sys.stderr,
+            )
+
+    print(
+        f"fuzz: seed {config.seed}, budget {config.budget}, "
+        f"over-bound {config.over_bound}, space {space.fingerprint()[:12]}",
+        file=sys.stderr,
+    )
+    try:
+        summary = run_fuzz(
+            config,
+            out,
+            resume=args.resume,
+            stop_after=args.stop_after,
+            progress=progress,
+        )
+    except FileExistsError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted; fuzz state retained next to {out} — "
+            "rerun with --resume to complete",
+            file=sys.stderr,
+        )
+        return 130
+    if summary.interrupted:
+        print(
+            f"stopped after {summary.executed + summary.duplicates} "
+            f"candidate(s); fuzz state retained next to {out} — rerun "
+            "with --resume to complete",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    kinds = ", ".join(
+        f"{kind}: {count}" for kind, count in sorted(summary.by_kind.items())
+    )
+    print(
+        f"fuzzed {config.budget} candidates ({summary.executed} executed, "
+        f"{summary.duplicates} duplicate(s), {summary.skipped} skipped): "
+        f"{summary.findings} finding(s)"
+        + (f" [{kinds}]" if kinds else "")
+        + f" -> {out}",
+        file=sys.stderr,
+    )
+    if args.fail_on_finding and summary.findings:
+        return 1
+    return 0
+
+
+def _load_finding(path: str, index: Optional[int]):
+    """One record from a findings corpus (by index, default the first)."""
+    from repro.fuzz import scan_findings
+
+    try:
+        records = scan_findings(Path(path))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read findings {path}: {exc}", file=sys.stderr)
+        return None
+    if not records:
+        print(f"no findings in {path}", file=sys.stderr)
+        return None
+    if index is None:
+        return records[0]
+    for record in records:
+        if int(record["index"]) == index:
+            return record
+    known = ", ".join(str(r["index"]) for r in records)
+    print(
+        f"no finding with index {index} in {path} (have: {known})",
+        file=sys.stderr,
+    )
+    return None
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz import replay_finding
+
+    record = _load_finding(args.findings, args.index)
+    if record is None:
+        return 2
+    shrunk = args.shrunk and "shrunk" in record
+    if args.shrunk and "shrunk" not in record:
+        print(
+            "record has no shrunk form (run was --no-shrink); "
+            "replaying the original candidate",
+            file=sys.stderr,
+        )
+    key = record["shrunk_key"] if shrunk else record["key"]
+    verdict = replay_finding(record, shrunk=shrunk)
+    expected = record["kind"]
+    print(f"candidate {key}")
+    print(f"recorded kind: {expected}")
+    print(
+        f"replayed kind: {verdict.kind} (status {verdict.status}, "
+        f"violated {list(verdict.violated)})"
+    )
+    if verdict.kind != expected:
+        print("REPLAY MISMATCH: finding did not reproduce", file=sys.stderr)
+        return 1
+    print("finding reproduced")
+    return 0
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        FuzzCandidate,
+        candidate_seed,
+        classify_candidate,
+        shrink_candidate,
+    )
+
+    record = _load_finding(args.findings, args.index)
+    if record is None:
+        return 2
+    kind = record["kind"]
+    candidate = FuzzCandidate.from_mapping(record["candidate"])
+    fuzz_seed = int(record["fuzz_seed"])
+    mode = "allow" if record.get("over_bound") else "never"
+    result = shrink_candidate(
+        candidate,
+        kind,
+        fuzz_seed=fuzz_seed,
+        over_bound=mode,
+        max_attempts=args.shrink_attempts,
+    )
+    print(f"original: {candidate.key()}")
+    print(f"shrunk:   {result.candidate.key()}")
+    print(
+        f"{len(result.ops)} accepted step(s) in {result.attempts} attempt(s):"
+    )
+    for op in result.ops:
+        print(f"  - {op}")
+    verdict = classify_candidate(
+        result.candidate,
+        candidate_seed(fuzz_seed, result.candidate),
+        over_bound=mode,
+    )
+    if verdict.kind != kind:
+        print("SHRINK MISMATCH: minimal candidate lost the finding",
+              file=sys.stderr)
+        return 1
+    print(
+        json.dumps(
+            {
+                "shrunk": result.candidate.to_mapping(),
+                "shrunk_key": result.candidate.key(),
+                "shrunk_seed": candidate_seed(fuzz_seed, result.candidate),
+                "shrink_ops": list(result.ops),
+                "shrink_attempts": result.attempts,
+            },
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_fuzz_run,
+        "replay": _cmd_fuzz_replay,
+        "shrink": _cmd_fuzz_shrink,
+    }
+    return handlers[args.fuzz_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1157,6 +1398,146 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cplan.add_argument("spec", help="spec file (.json/.toml) or built-in name")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario fuzzing (run/replay/shrink)",
+    )
+    fsub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    frun = fsub.add_parser(
+        "run",
+        help="seeded violation hunt over the scenario space; findings are "
+        "shrunk and logged to a replayable JSONL corpus",
+    )
+    frun.add_argument("--seed", type=int, default=0, help="fuzz seed")
+    frun.add_argument(
+        "--budget",
+        type=positive_int,
+        default=100,
+        help="candidate indices to walk (a fixed seed+budget is a "
+        "deterministic run: the findings file is byte-identical across "
+        "reruns and kill/--resume cycles)",
+    )
+    frun.add_argument(
+        "--out", default="findings.jsonl", help="findings JSONL path"
+    )
+    frun.add_argument(
+        "--resume",
+        action="store_true",
+        help="complete an interrupted fuzz run from its <out>.state sidecar",
+    )
+    frun.add_argument(
+        "--stop-after",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="stop gracefully after N candidates this session, leaving the "
+        "state for --resume (exit code 3); used by interrupt testing",
+    )
+    frun.add_argument("--quiet", action="store_true", help="suppress progress")
+    frun.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict the algorithm pool (default: all deterministic "
+        "builders plus class-1/2/3)",
+    )
+    frun.add_argument(
+        "--engines",
+        nargs="+",
+        choices=["lockstep", "timed"],
+        default=None,
+        help="restrict the engine pool (default: both)",
+    )
+    frun.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        metavar="N,B,F",
+        help="explicit (n,b,f) pool, e.g. --models 4,2,0 3,1,1 "
+        "(default: sampled from --n-min/--n-max)",
+    )
+    frun.add_argument(
+        "--n-min", type=positive_int, default=3, help="smallest sampled n"
+    )
+    frun.add_argument(
+        "--n-max", type=positive_int, default=9, help="largest sampled n"
+    )
+    frun.add_argument(
+        "--strategies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict the Byzantine strategy pool",
+    )
+    frun.add_argument(
+        "--over-bound",
+        choices=["never", "allow", "only"],
+        default="never",
+        help="whether models rejected by the Theorem 1 bounds execute on "
+        "clamped boundary parameters (allow), are the only cells executed "
+        "(only), or classify as skipped (never, the default)",
+    )
+    frun.add_argument(
+        "--mutate-prob",
+        type=float,
+        default=0.5,
+        help="probability a candidate mutates a prior finding instead of "
+        "sampling fresh (once the corpus is non-empty)",
+    )
+    frun.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="log findings without the delta-debugging minimization pass",
+    )
+    frun.add_argument(
+        "--shrink-attempts",
+        type=positive_int,
+        default=160,
+        help="upper bound on reproduction attempts per shrink",
+    )
+    frun.add_argument(
+        "--fail-on-finding",
+        action="store_true",
+        help="exit 1 when any finding is recorded (CI in-bounds gate)",
+    )
+
+    freplay = fsub.add_parser(
+        "replay",
+        help="re-execute one corpus finding and check it still reproduces",
+    )
+    freplay.add_argument("findings", help="path to a findings .jsonl file")
+    freplay.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="finding index to replay (default: the first record)",
+    )
+    freplay.add_argument(
+        "--shrunk",
+        action="store_true",
+        help="replay the minimized candidate instead of the original",
+    )
+
+    fshrink = fsub.add_parser(
+        "shrink",
+        help="re-shrink one corpus finding and print the minimal candidate",
+    )
+    fshrink.add_argument("findings", help="path to a findings .jsonl file")
+    fshrink.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="finding index to shrink (default: the first record)",
+    )
+    fshrink.add_argument(
+        "--shrink-attempts",
+        type=positive_int,
+        default=160,
+        help="upper bound on reproduction attempts",
+    )
+
     creport = csub.add_parser("report", help="aggregate a results JSONL file")
     creport.add_argument("results", help="path to a results .jsonl file")
     creport.add_argument(
@@ -1187,6 +1568,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "smr": _cmd_smr,
         "campaign": _cmd_campaign,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

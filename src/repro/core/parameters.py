@@ -69,6 +69,49 @@ class ConsensusParameters:
         if self.selector.model != self.model:
             raise ParameterError("Selector fault model differs from parameter model")
 
+    @classmethod
+    def unchecked(
+        cls,
+        model: "FaultModel",
+        threshold: int,
+        flag: Flag,
+        flv: FLVFunction,
+        selector: Selector,
+    ) -> "ConsensusParameters":
+        """Construct a bundle **without** the Theorem-1 validation.
+
+        The boundary-hunting instruments (the scenario fuzzer) need to
+        execute parameter points the correctness theorems reject — that is
+        exactly where counterexamples live.  Structural consistency is
+        still enforced (the FLV/selector must be built for this model and
+        threshold, and ``TD`` must be positive and reachable), but the
+        agreement and termination bounds are deliberately not: a bundle
+        built here may lose safety or liveness by design.  Never use this
+        for anything presented as a correct instantiation.
+        """
+        if threshold <= 0:
+            raise ParameterError(f"TD must be positive, got {threshold}")
+        if threshold > model.n:
+            raise ParameterError(
+                f"TD={threshold} can never be reached with n={model.n}"
+            )
+        if flv.threshold != threshold:
+            raise ParameterError(
+                f"FLV was built with TD={flv.threshold}, "
+                f"parameters carry TD={threshold}"
+            )
+        if flv.model != model:
+            raise ParameterError("FLV fault model differs from parameter model")
+        if selector.model != model:
+            raise ParameterError("Selector fault model differs from parameter model")
+        self = object.__new__(cls)
+        object.__setattr__(self, "model", model)
+        object.__setattr__(self, "threshold", threshold)
+        object.__setattr__(self, "flag", flag)
+        object.__setattr__(self, "flv", flv)
+        object.__setattr__(self, "selector", selector)
+        return self
+
     @property
     def rounds_per_phase(self) -> int:
         """2 when ``FLAG = *`` (no validation round), 3 when ``FLAG = φ``."""

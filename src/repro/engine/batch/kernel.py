@@ -99,15 +99,24 @@ def run_batch(
 
     rows: Optional[List[Optional[Row]]] = None
     tier = "batch.columnar_rows"
-    if plan.mode == MODE_REPLICATE:
-        rows = _replicate_rows(runs)
-        tier = "batch.replicated_rows"
-    elif plan.mode in (MODE_COLUMNAR, MODE_COLUMNAR_STATE):
-        if telemetry is not None:
-            with telemetry.span("scheduler.batch"):
+    # Tier production is demotion-safe: a tier that cannot hold its
+    # oracle-identity contract returns ``None`` rows, and a tier that
+    # *raises* (a broken template assumption surfacing at execution
+    # rather than build time) demotes the same way — the cell re-executes
+    # on the per-run oracle, so ``run_batch`` keeps its never-raises,
+    # byte-identical contract no matter how a tier fails.
+    try:
+        if plan.mode == MODE_REPLICATE:
+            rows = _replicate_rows(runs)
+            tier = "batch.replicated_rows"
+        elif plan.mode in (MODE_COLUMNAR, MODE_COLUMNAR_STATE):
+            if telemetry is not None:
+                with telemetry.span("scheduler.batch"):
+                    rows, tier = _timed_rows(runs, plan.mode)
+            else:
                 rows, tier = _timed_rows(runs, plan.mode)
-        else:
-            rows, tier = _timed_rows(runs, plan.mode)
+    except Exception:
+        rows = None
 
     if rows is None:
         rows = [None] * len(runs)

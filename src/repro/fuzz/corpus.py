@@ -1,0 +1,143 @@
+"""Crash-safe findings corpus: JSONL records plus a resumable state file.
+
+The corpus mirrors the campaign checkpoint protocol
+(:mod:`repro.campaigns.results`): one canonical JSON line per finding,
+flushed as written so a kill loses at most the line being written; a
+torn final line is tolerated on scan and truncated on resume.
+
+Alongside the findings file lives ``<out>.state`` — a tiny JSON document
+(atomically replaced after *every* candidate) recording how far the search
+got (``next``), under which seed/budget/space fingerprint, and how many
+findings were recorded.  Resume validation refuses a foreign state
+(different seed, budget, space or over-bound mode) rather than silently
+producing a franken-corpus; on a compatible resume any finding records at
+or beyond ``next`` (written after the last state update, i.e. the crash
+window) are dropped — deterministic re-execution regenerates them
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Bumped when the record/state layout changes incompatibly.
+STATE_VERSION = 1
+
+
+def finding_to_json(record: Dict[str, object]) -> str:
+    """Canonical serialization: sorted keys, no whitespace.
+
+    Canonicalization is what makes "byte-identical findings file" a
+    meaningful determinism check across reruns and kill/resume cycles.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def state_path(out: object) -> Path:
+    """The sidecar state file of a findings corpus."""
+    return Path(f"{out}.state")
+
+
+def write_state(path: Path, state: Dict[str, object]) -> None:
+    """Atomically replace the state file (write-temp + rename)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(finding_to_json(state) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def read_state(path: Path) -> Dict[str, object]:
+    """Load and structurally validate a state file."""
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable fuzz state {path}: {exc}") from exc
+    if not isinstance(state, dict) or state.get("version") != STATE_VERSION:
+        raise ValueError(
+            f"fuzz state {path} has unsupported version "
+            f"{state.get('version') if isinstance(state, dict) else state!r}"
+        )
+    for field in ("seed", "budget", "next", "findings", "space", "over_bound"):
+        if field not in state:
+            raise ValueError(f"fuzz state {path} is missing {field!r}")
+    return state
+
+
+def scan_findings(path: Path) -> List[Dict[str, object]]:
+    """Parse a findings file, tolerating a torn final line.
+
+    A malformed line anywhere *except* the end is corruption and raises —
+    exactly the checkpoint scanner's posture: crashes tear tails, they do
+    not rewrite middles.
+    """
+    records: List[Dict[str, object]] = []
+    if not path.exists():
+        return records
+    deferred: Tuple[int, str] = (0, "")
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if deferred[1]:
+                raise ValueError(
+                    f"corrupt findings line {deferred[0]} in {path}: "
+                    f"{deferred[1]}"
+                )
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+                if not isinstance(record, dict) or "index" not in record:
+                    raise ValueError("not a finding record")
+            except ValueError as exc:
+                # Only fatal if another line follows (then it's mid-file).
+                deferred = (lineno, str(exc))
+                continue
+            records.append(record)
+    return records
+
+
+def truncate_findings(path: Path, next_index: int) -> List[Dict[str, object]]:
+    """Drop records at/after ``next_index``; return the survivors.
+
+    A crash between a finding append and its state update leaves one
+    record the state does not acknowledge; re-executing that candidate
+    regenerates the identical bytes, so the duplicate-to-be is dropped
+    here.  The rewrite is atomic (temp + rename) like every corpus write.
+    """
+    records = [
+        record
+        for record in scan_findings(path)
+        if int(record["index"]) < next_index
+    ]
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(finding_to_json(record) + "\n")
+    os.replace(tmp, path)
+    return records
+
+
+class FindingLog:
+    """Append-only findings writer, flushed per record (crash loses ≤1 line)."""
+
+    def __init__(self, path: object, *, append: bool = False) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open(
+            "a" if append else "w", encoding="utf-8"
+        )
+
+    def append(self, record: Dict[str, object]) -> None:
+        self._handle.write(finding_to_json(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "FindingLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

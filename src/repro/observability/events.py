@@ -13,6 +13,12 @@ kind                      fields
 ``row_completed``         ``run_id, status, duration_ms, pid``
 ``checkpoint_flushed``    ``rows`` (rows recorded so far this session)
 ``worker_heartbeat``      ``pid, rows, rows_per_s`` (cumulative, parent clock)
+``worker_crashed``        ``chunks, runs, error, rebuilds`` (a worker process
+                          died; the listed chunks are re-dispatched)
+``chunk_retried``         ``runs, attempt, mode`` (crash re-dispatch; ``mode``
+                          is ``pool`` or ``inline``)
+``pool_degraded``         ``rebuilds`` (rebuild limit hit; the campaign
+                          continues in-process)
 ``resume_skipped``        ``rows`` (recorded runs --resume did not re-execute)
 ``campaign_finished``     ``rows, errors, elapsed_s, interrupted``
 ========================  =====================================================

@@ -90,7 +90,9 @@ class CommSpec:
         if self.good_from < 1:
             raise ValueError(f"good_from must be ≥ 1, got {self.good_from}")
         # Mapping loaders hand in lists; freeze them so specs stay hashable.
-        if self.windows and not isinstance(self.windows, tuple):
+        # An *empty* list must freeze too — an unhashable spec would poison
+        # the compilation memo for any equal-looking tuple-built spec.
+        if not isinstance(self.windows, tuple):
             object.__setattr__(
                 self, "windows", tuple(tuple(w) for w in self.windows)
             )

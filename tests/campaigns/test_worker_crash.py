@@ -1,0 +1,98 @@
+"""Campaign dispatch survives worker-process death.
+
+A SIGKILLed pool worker surfaces as ``BrokenProcessPool``;
+:func:`iter_campaign` must salvage the in-flight chunks, rebuild the pool
+(bounded retries, then in-process degradation) and finish the campaign
+with rows byte-identical to an undisturbed run — crashes cost wall-clock,
+never correctness.  The recovery is visible in the events stream
+(``worker_crashed`` / ``chunk_retried`` / ``pool_degraded``), which these
+tests also pin.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.campaigns import BUILTIN_CAMPAIGNS, iter_campaign, run_campaign
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="worker kill tests need POSIX signals"
+)
+
+GRID = BUILTIN_CAMPAIGNS["grid-demo"]
+
+
+def canonical(rows):
+    return sorted(
+        json.dumps(
+            {k: v for k, v in row.items() if not k.startswith("_")},
+            sort_keys=True,
+        )
+        for row in rows
+    )
+
+
+@pytest.fixture(scope="module")
+def undisturbed():
+    return canonical(run_campaign(GRID, workers=1))
+
+
+def _run_with_kills(undisturbed, kills=1, **kwargs):
+    """Drive the campaign, SIGKILLing the first worker pid(s) seen."""
+    events = []
+    rows = []
+    remaining = kills
+    own = os.getpid()
+    for row in iter_campaign(
+        GRID,
+        workers=3,
+        chunk=2,
+        timings=True,
+        on_event=lambda kind, fields: events.append((kind, dict(fields))),
+        **kwargs,
+    ):
+        rows.append(row)
+        pid = row.get("_pid")
+        if remaining and isinstance(pid, int) and pid != own:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                remaining -= 1
+            except ProcessLookupError:
+                pass
+    assert remaining == 0, "no worker pid ever surfaced to kill"
+    assert canonical(rows) == undisturbed
+    return events
+
+
+def test_killed_worker_campaign_completes_byte_identical(undisturbed):
+    events = _run_with_kills(undisturbed, kills=1)
+    kinds = [kind for kind, _ in events]
+    assert "worker_crashed" in kinds
+    assert "chunk_retried" in kinds
+    crash = next(fields for kind, fields in events if kind == "worker_crashed")
+    assert crash["chunks"] >= 1 and crash["runs"] >= 1
+    retry = next(fields for kind, fields in events if kind == "chunk_retried")
+    assert retry["attempt"] == 1 and retry["mode"] == "pool"
+
+
+def test_degraded_inline_mode_after_rebuild_limit(monkeypatch, undisturbed):
+    """With no rebuilds allowed, the campaign finishes in-process."""
+    monkeypatch.setattr("repro.campaigns.runner.POOL_REBUILD_LIMIT", 0)
+    events = _run_with_kills(undisturbed, kills=1)
+    kinds = [kind for kind, _ in events]
+    assert "worker_crashed" in kinds
+    assert "pool_degraded" in kinds
+    retries = [fields for kind, fields in events if kind == "chunk_retried"]
+    assert retries and all(r["mode"] == "inline" for r in retries)
+
+
+def test_exhausted_chunk_retries_execute_inline(monkeypatch, undisturbed):
+    """A chunk out of pooled retries re-executes in this process."""
+    monkeypatch.setattr("repro.campaigns.runner.CHUNK_RETRY_LIMIT", 0)
+    events = _run_with_kills(undisturbed, kills=1)
+    retries = [fields for kind, fields in events if kind == "chunk_retried"]
+    assert retries and all(r["mode"] == "inline" for r in retries)

@@ -1,0 +1,126 @@
+"""Classification: in-bounds cells are quiet, over-bound cells scream.
+
+The fuzzer's signal-to-noise hinges on two facts this suite pins:
+
+* **in-bounds** candidates (models the Theorem 1 bounds admit) never
+  classify as findings under the eligibility gates — safety holds by the
+  paper's agreement proof, and liveness stalls are only counted when the
+  schedule guarantees eventual good communication;
+* **over-bound** candidates (``3b ≥ n`` for the one-third rule) execute on
+  clamped boundary parameters under ``over_bound="allow"`` and produce
+  genuine agreement violations for an equivocating adversary.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.fuzz import (
+    BOUNDARY_CLASSES,
+    FuzzCandidate,
+    FuzzSpace,
+    boundary_parameters,
+    candidate_seed,
+    classify_candidate,
+    generate,
+)
+from repro.core.types import FaultModel
+from repro.scenarios.spec import ScenarioSpec
+
+
+def over_bound_otr() -> FuzzCandidate:
+    """One-third rule at (4, 2, 0): 3b = 6 ≥ n = 4, far over the bound."""
+    return FuzzCandidate(
+        algorithm="one-third-rule",
+        n=4,
+        b=2,
+        f=0,
+        engine="lockstep",
+        scenario=ScenarioSpec(
+            name="fuzz", byzantine=("equivocator", "equivocator")
+        ),
+        max_phases=12,
+    )
+
+
+def test_in_bounds_candidates_produce_no_findings():
+    """A seeded sample of the default space: zero findings in bounds."""
+    space = FuzzSpace()
+    for seed in range(25):
+        candidate = generate(space, Random(seed))
+        verdict = classify_candidate(
+            candidate, candidate_seed(0, candidate), over_bound="never"
+        )
+        assert not verdict.is_finding, (
+            f"in-bounds candidate {candidate.key()} classified as "
+            f"{verdict.kind}: {verdict.violated}"
+        )
+
+
+def test_over_bound_equivocator_violates_agreement():
+    candidate = over_bound_otr()
+    seed = candidate_seed(7, candidate)
+    # Refused without the escape hatch: the model is outside Theorem 1.
+    skipped = classify_candidate(candidate, seed, over_bound="never")
+    assert not skipped.is_finding
+    assert skipped.status in ("inadmissible", "skipped")
+    found = classify_candidate(candidate, seed, over_bound="allow")
+    assert found.is_finding
+    assert found.kind == "safety"
+    assert "agreement" in found.violated
+    assert found.row["over_bound"] is True
+
+
+def test_over_bound_only_skips_in_bounds_cells():
+    candidate = FuzzCandidate(
+        algorithm="pbft",
+        n=4,
+        b=1,
+        f=0,
+        engine="lockstep",
+        scenario=ScenarioSpec(name="fuzz", byzantine=("silent",)),
+        max_phases=12,
+    )
+    verdict = classify_candidate(
+        candidate, candidate_seed(0, candidate), over_bound="only"
+    )
+    assert verdict.status == "skipped"
+    assert not verdict.is_finding
+
+
+def test_classification_is_deterministic():
+    candidate = over_bound_otr()
+    seed = candidate_seed(7, candidate)
+    rows = [
+        classify_candidate(candidate, seed, over_bound="allow").row
+        for _ in range(3)
+    ]
+    assert rows[0] == rows[1] == rows[2]
+
+
+def test_candidate_seed_is_content_derived():
+    candidate = over_bound_otr()
+    assert candidate_seed(7, candidate) == candidate_seed(7, candidate)
+    assert candidate_seed(7, candidate) != candidate_seed(8, candidate)
+    other = FuzzCandidate(
+        algorithm="pbft",
+        n=4,
+        b=1,
+        f=0,
+        engine="lockstep",
+        scenario=ScenarioSpec(name="fuzz"),
+        max_phases=12,
+    )
+    assert candidate_seed(7, candidate) != candidate_seed(7, other)
+
+
+def test_boundary_parameters_clamp_to_model():
+    for name in sorted(BOUNDARY_CLASSES):
+        model = FaultModel(4, 2, 0)
+        parameters, _config = boundary_parameters(name, model)
+        assert 1 <= parameters.threshold <= model.n
+        assert parameters.model == model
+    with pytest.raises(ValueError):
+        boundary_parameters("ben-or", FaultModel(4, 2, 0))

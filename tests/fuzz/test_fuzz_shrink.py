@@ -1,0 +1,140 @@
+"""Shrinker invariants: admissible steps, preserved findings, determinism.
+
+Satellite contract: every accepted shrink step is a constructible,
+still-failing candidate (same finding kind under its own content-derived
+seed), and the whole trace is a pure function of the starting candidate —
+re-shrinking yields the identical minimal spec and op list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    FuzzCandidate,
+    candidate_seed,
+    classify_candidate,
+    shrink_candidate,
+)
+from repro.scenarios.spec import CommSpec, ScenarioSpec
+
+FUZZ_SEED = 7
+
+
+def messy_over_bound_otr() -> FuzzCandidate:
+    """A deliberately noisy over-bound cell for the shrinker to chew on."""
+    return FuzzCandidate(
+        algorithm="one-third-rule",
+        n=6,
+        b=3,
+        f=0,
+        engine="lockstep",
+        scenario=ScenarioSpec(
+            name="fuzz",
+            byzantine=("equivocator", "equivocator", "equivocator"),
+            comm=CommSpec(
+                kind="good-bad",
+                schedule="after",
+                good_from=4,
+                bad="drop",
+                drop_prob=0.5,
+            ),
+            max_phases=14,
+        ),
+        max_phases=14,
+    )
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    candidate = messy_over_bound_otr()
+    verdict = classify_candidate(
+        candidate,
+        candidate_seed(FUZZ_SEED, candidate),
+        over_bound="allow",
+    )
+    assert verdict.is_finding, "fixture cell must be a finding"
+    result = shrink_candidate(
+        candidate,
+        verdict.kind,
+        fuzz_seed=FUZZ_SEED,
+        over_bound="allow",
+    )
+    return candidate, verdict.kind, result
+
+
+def test_every_accepted_step_reproduces_the_finding(shrunk):
+    _candidate, kind, result = shrunk
+    assert len(result.steps) == len(result.ops)
+    for step in result.steps:
+        verdict = classify_candidate(
+            step,
+            candidate_seed(FUZZ_SEED, step),
+            over_bound="allow",
+        )
+        assert verdict.kind == kind, (
+            f"accepted step {step.key()} does not reproduce {kind}"
+        )
+
+
+def test_every_accepted_step_is_admissible(shrunk):
+    """Steps are constructible candidates, not just mappings."""
+    _candidate, _kind, result = shrunk
+    for step in result.steps:
+        assert step.n >= 1
+        assert step.b >= 0 and step.f >= 0
+        assert step.b + step.f < step.n or step.b + step.f == 0
+        hash(step.scenario)
+        # Rebuilding from the wire form must not change it.
+        assert FuzzCandidate.from_mapping(step.to_mapping()) == step
+
+
+def test_shrink_is_minimizing_and_simpler(shrunk):
+    candidate, _kind, result = shrunk
+    final = result.candidate
+    assert result.ops, "noisy cell must shrink at least one op"
+    assert len(final.scenario.byzantine) <= len(candidate.scenario.byzantine)
+    assert final.n <= candidate.n
+    # Over-bound OTR findings shrink to ≤ f+1 Byzantine slots and at most
+    # one communication clause (the acceptance criterion's bar).
+    assert len(final.scenario.byzantine) <= final.f + 1
+    comm = final.scenario.comm
+    assert comm.kind in ("reliable",) or (
+        comm.kind == "good-bad" and comm.schedule == "after"
+    )
+
+
+def test_shrink_is_deterministic(shrunk):
+    candidate, kind, result = shrunk
+    again = shrink_candidate(
+        candidate, kind, fuzz_seed=FUZZ_SEED, over_bound="allow"
+    )
+    assert again.candidate == result.candidate
+    assert again.ops == result.ops
+    assert again.attempts == result.attempts
+    assert again.steps == result.steps
+
+
+def test_shrink_refuses_non_findings():
+    candidate = messy_over_bound_otr()
+    with pytest.raises(ValueError):
+        shrink_candidate(candidate, None, fuzz_seed=FUZZ_SEED)
+    with pytest.raises(ValueError):
+        shrink_candidate(candidate, "ok", fuzz_seed=FUZZ_SEED)
+
+
+def test_shrink_respects_attempt_budget():
+    candidate = messy_over_bound_otr()
+    verdict = classify_candidate(
+        candidate,
+        candidate_seed(FUZZ_SEED, candidate),
+        over_bound="allow",
+    )
+    result = shrink_candidate(
+        candidate,
+        verdict.kind,
+        fuzz_seed=FUZZ_SEED,
+        over_bound="allow",
+        max_attempts=3,
+    )
+    assert result.attempts <= 3

@@ -137,7 +137,10 @@ class TestMemoization:
     def test_schedule_lookups_memoized(self):
         calls = []
 
-        comm = CommSpec(kind="good-bad", schedule="after", good_from=4)
+        # A good_from no other test (or fuzzed candidate) uses: the
+        # schedule memo is process-wide, so a shared spec would arrive
+        # here with its round cache already warm.
+        comm = CommSpec(kind="good-bad", schedule="after", good_from=41)
         from repro.scenarios.compile import _memoized_schedule
 
         schedule = _memoized_schedule(comm)

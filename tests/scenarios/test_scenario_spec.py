@@ -64,6 +64,15 @@ class TestCommSpec:
         assert comm.groups == ((0, 1), (2, 3))
         hash(comm)  # stays usable as a frozen coordinate
 
+    def test_empty_windows_list_frozen_too(self):
+        # Regression: JSON loaders hand in ``windows=[]`` (the empty
+        # tuple's round-trip), which must freeze like any other list or
+        # the spec becomes unhashable and equal-looking specs diverge.
+        comm = CommSpec(windows=[])
+        assert comm.windows == ()
+        assert comm == CommSpec()
+        hash(comm)
+
 
 class TestScenarioSpec:
     def test_byzantine_placement_cycles_strategies(self):
